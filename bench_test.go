@@ -1,0 +1,396 @@
+package es
+
+// The benchmark harness: one benchmark (or benchmark pair) per experiment
+// in EXPERIMENTS.md, regenerating every figure and quantified claim of
+// the paper's evaluation.  Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// E1 — Figure 1: the %pipe profiling spoof (vs. the unspoofed pipeline).
+// E2 — Figure 2: %pathsearch caching, cold vs. cached lookups.
+// E3 — Figure 3: interactive-loop turns.
+// E4 — GC: collector overhead replaying the live interpreter's
+//      allocation profile (the "roughly 4%" claim).
+// E5 — environment functions: startup with state in the environment vs.
+//      sourcing an rc file.
+// E7 — future work implemented: tail-call elimination ablation.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"es/internal/core"
+	"es/internal/gc"
+)
+
+func benchShell(b *testing.B) *Shell {
+	b.Helper()
+	sh, err := New(Options{Stdout: io.Discard, Stderr: io.Discard})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sh
+}
+
+func benchRun(b *testing.B, sh *Shell, src string) List {
+	b.Helper()
+	res, err := sh.Run(src)
+	if err != nil {
+		b.Fatalf("%s: %v", src, err)
+	}
+	return res
+}
+
+// ---- E1: Figure 1 ----
+
+// BenchmarkFig1PipeProfile runs the paper's word-frequency pipeline with
+// the %pipe timing spoof installed.
+func BenchmarkFig1PipeProfile(b *testing.B) {
+	sh := benchShell(b)
+	benchRun(b, sh, pipeSpoof)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchRun(b, sh, wordFreqPipeline)
+	}
+}
+
+// BenchmarkFig1PipeBaseline is the same pipeline without the spoof; the
+// difference is the cost of profiling through the hook mechanism.
+func BenchmarkFig1PipeBaseline(b *testing.B) {
+	sh := benchShell(b)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchRun(b, sh, wordFreqPipeline)
+	}
+}
+
+// ---- E2: Figure 2 ----
+
+func pathBenchShell(b *testing.B, ndirs int) *Shell {
+	b.Helper()
+	sh := benchShell(b)
+	root := b.TempDir()
+	dirs := make([]string, ndirs)
+	for k := range dirs {
+		dirs[k] = filepath.Join(root, fmt.Sprintf("bin%03d", k))
+		if err := os.MkdirAll(dirs[k], 0o755); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tool := filepath.Join(dirs[ndirs-1], "benchtool")
+	if err := os.WriteFile(tool, []byte("#!/bin/true\n"), 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := sh.Set("path", dirs...); err != nil {
+		b.Fatal(err)
+	}
+	benchRun(b, sh, pathCacheSpoof)
+	return sh
+}
+
+// BenchmarkFig2PathSearchCold measures lookups that walk all of $path
+// (the cache is dropped each iteration, as recache does).
+func BenchmarkFig2PathSearchCold(b *testing.B) {
+	sh := pathBenchShell(b, 32)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchRun(b, sh, "whatis benchtool >[1=]")
+		benchRun(b, sh, "recache")
+	}
+}
+
+// BenchmarkFig2PathSearchCached measures lookups answered by the fn-
+// variable the Figure 2 spoof installed.
+func BenchmarkFig2PathSearchCached(b *testing.B) {
+	sh := pathBenchShell(b, 32)
+	benchRun(b, sh, "whatis benchtool >[1=]") // warm the cache
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchRun(b, sh, "whatis benchtool >[1=]")
+	}
+}
+
+// ---- E3: Figure 3 ----
+
+type benchReader struct {
+	line string
+	n    int
+}
+
+func (r *benchReader) ReadLine() (string, error) {
+	if r.n <= 0 {
+		return "", io.EOF
+	}
+	r.n--
+	return r.line, nil
+}
+
+// BenchmarkFig3ReplTurn measures one full interactive-loop turn — prompt,
+// %parse, evaluate — through the es-coded Figure 3 loop.
+func BenchmarkFig3ReplTurn(b *testing.B) {
+	sh := benchShell(b)
+	b.ResetTimer()
+	b.StopTimer()
+	// Feed b.N commands through one Interactive session.
+	r := &benchReader{line: "x = <>{%flatten / a b}", n: b.N}
+	b.StartTimer()
+	if _, err := sh.Interactive(r); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// ---- E4: GC ----
+
+// shellProfile derives a per-command allocation profile from a real,
+// instrumented interpreter run (the paper's observations made concrete).
+func shellProfile(b *testing.B) (gc.CommandProfile, time.Duration) {
+	b.Helper()
+	sh := benchShell(b)
+	sh.Interp().Alloc.Trace = true
+	workload := `
+for (k = 1 2 3 4 5 6 7 8 9 10) {
+	x = one two three $k
+	y = $x $x
+	let (z = $y^suffix) {
+		s = <>{%flatten : $z}
+	}
+	if {~ $k 5} {marker = reached $k}
+}
+` + wordFreqPipeline
+	start := time.Now()
+	if _, err := sh.Run(workload); err != nil {
+		b.Fatal(err)
+	}
+	wall := time.Since(start)
+	a := sh.Interp().Alloc
+	cmds := a.Commands
+	if cmds == 0 {
+		cmds = 1
+	}
+	p := gc.CommandProfile{
+		Terms:    int(a.Terms / cmds),
+		Conses:   int(a.Lists / cmds),
+		Closures: int(a.Closures/cmds) + 1,
+		Bindings: int(a.Bindings/cmds) + 1,
+		Retained: 2,
+		StrLen:   12,
+		EnvSize:  64,
+	}
+	return p, wall / time.Duration(cmds)
+}
+
+// BenchmarkGCReplay measures raw collector throughput on the live-derived
+// profile; the reported gc-frac metric is collection time as a fraction
+// of the real shell's per-command runtime — the paper's 4% measurement.
+func BenchmarkGCReplay(b *testing.B) {
+	profile, perCmd := shellProfile(b)
+	h := gc.NewHeap(4096)
+	b.ResetTimer()
+	stats := gc.Replay(h, profile, b.N)
+	b.StopTimer()
+	if b.N > 0 {
+		gcPerCmd := time.Duration(int64(stats.GCTime) / int64(b.N))
+		b.ReportMetric(float64(gcPerCmd)/float64(perCmd)*100, "gc-frac-%")
+		b.ReportMetric(float64(stats.Collections)/float64(b.N)*1000, "collections/1000cmd")
+	}
+}
+
+// BenchmarkGCCollect measures a single collection over a live set of the
+// size the replayed shell retains.
+func BenchmarkGCCollect(b *testing.B) {
+	h := gc.NewHeap(8192)
+	env := gc.Nil
+	h.AddRoot(&env)
+	for k := 0; k < 512; k++ {
+		v := h.String("value-string")
+		h.AddRoot(&v)
+		env = h.Binding("var", v, env)
+		h.RemoveRoot(&v)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		h.Collect()
+	}
+	b.ReportMetric(float64(h.Stats().LiveAfterGC), "live-objects")
+}
+
+// BenchmarkGCDebugMode shows the cost of the collect-at-every-allocation
+// debugging collector.
+func BenchmarkGCDebugMode(b *testing.B) {
+	h := gc.NewHeap(512)
+	h.Debug = true
+	keep := gc.Nil
+	h.AddRoot(&keep)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		keep = h.Cons(h.String("x"), gc.Nil)
+	}
+}
+
+// ---- E5: startup ----
+
+// startupDefs is shell state a user might accumulate: 24 function
+// definitions with captured bindings.
+func startupDefs() string {
+	var sb strings.Builder
+	for k := 0; k < 24; k++ {
+		fmt.Fprintf(&sb, "let (v%d = val%d) fn helper%d a {echo $v%d $a}\n", k, k, k, k)
+	}
+	return sb.String()
+}
+
+// BenchmarkStartupEnv starts a shell whose state arrives through the
+// environment, as es does: no configuration file is read.
+func BenchmarkStartupEnv(b *testing.B) {
+	parent := benchShell(b)
+	benchRun(b, parent, startupDefs())
+	env := parent.Interp().ExportEnv()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		sh, err := New(Options{Environ: env})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = sh
+	}
+}
+
+// BenchmarkStartupRcFile starts a shell the traditional way: reading and
+// evaluating an rc file with the same definitions.
+func BenchmarkStartupRcFile(b *testing.B) {
+	rc := filepath.Join(b.TempDir(), "esrc")
+	if err := os.WriteFile(rc, []byte(startupDefs()), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		sh, err := New(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sh.RunFile(rc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStartupBare is the floor: initial.es only.
+func BenchmarkStartupBare(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		if _, err := New(Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E7: tail calls ----
+
+const drainDef = `
+fn drain head tail {
+	if {~ $#head 0} {result done} {drain $tail}
+}`
+
+func tcoShell(b *testing.B, disable bool, n int) *Shell {
+	b.Helper()
+	sh, err := New(Options{Stdout: io.Discard, Stderr: io.Discard, NoTailCalls: disable})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]string, n)
+	for k := range vals {
+		vals[k] = "x"
+	}
+	sh.Interp().SetVarRaw("big", core.StrList(vals...))
+	benchRun(b, sh, drainDef)
+	return sh
+}
+
+// BenchmarkTailCallOpt drains a 400-element list by tail recursion with
+// the trampoline on (constant evaluation stack).
+func BenchmarkTailCallOpt(b *testing.B) {
+	sh := tcoShell(b, false, 400)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchRun(b, sh, "drain $big")
+	}
+}
+
+// BenchmarkTailCallNaive is the ablation: the same recursion with nested
+// Go frames, the C implementation's behaviour the paper calls an
+// "implementation deficiency which we hope to remedy".
+func BenchmarkTailCallNaive(b *testing.B) {
+	sh := tcoShell(b, true, 400)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchRun(b, sh, "drain $big")
+	}
+}
+
+// ---- microbenchmarks ----
+
+func BenchmarkParse(b *testing.B) {
+	src := "fn apply cmd args {for (i = $args) $cmd $i}; a | b > f && c"
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := core.ParseCommand(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalSimple(b *testing.B) {
+	sh := benchShell(b)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchRun(b, sh, "result a b c")
+	}
+}
+
+func BenchmarkApplyFunction(b *testing.B) {
+	sh := benchShell(b)
+	benchRun(b, sh, "fn f a b {result $b $a}")
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchRun(b, sh, "f one two")
+	}
+}
+
+func BenchmarkPipeBuiltins(b *testing.B) {
+	sh := benchShell(b)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchRun(b, sh, "echo data | cat")
+	}
+}
+
+func BenchmarkEnvExport(b *testing.B) {
+	sh := benchShell(b)
+	benchRun(b, sh, startupDefs())
+	i := sh.Interp()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if len(i.ExportEnv()) == 0 {
+			b.Fatal("empty env")
+		}
+	}
+}
+
+func BenchmarkForkClone(b *testing.B) {
+	sh := benchShell(b)
+	benchRun(b, sh, startupDefs())
+	i := sh.Interp()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if i.Fork() == nil {
+			b.Fatal("fork failed")
+		}
+	}
+}
+
+var _ = bytes.MinRead

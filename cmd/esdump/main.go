@@ -1,0 +1,88 @@
+// Command esdump shows what the es front end does to a program: the
+// token stream, the surface parse, and — most importantly — the rewritten
+// core form, which demonstrates the paper's claim that "es's shell syntax
+// is just a front for calls on built-in functions":
+//
+//	$ esdump -core 'ls > /tmp/foo'
+//	%create 1 /tmp/foo {ls}
+//
+// Usage:
+//
+//	esdump [-tokens] [-surface] [-core] [command | -]
+//
+// With no stage flags, all three are printed.  "-" (or no argument) reads
+// the program from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"es/internal/syntax"
+)
+
+func main() {
+	var (
+		tokens  = flag.Bool("tokens", false, "print the token stream")
+		surface = flag.Bool("surface", false, "print the surface parse")
+		coreF   = flag.Bool("core", false, "print the rewritten core form")
+	)
+	flag.Parse()
+	all := !*tokens && !*surface && !*coreF
+
+	src := ""
+	if flag.NArg() == 0 || flag.Arg(0) == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esdump:", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	} else {
+		src = flag.Arg(0)
+	}
+
+	if all || *tokens {
+		if all {
+			fmt.Println("tokens:")
+		}
+		toks, err := syntax.Lex(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esdump:", err)
+			os.Exit(1)
+		}
+		for _, t := range toks {
+			if t.Kind == syntax.EOF {
+				break
+			}
+			fmt.Printf("  %v\n", t)
+		}
+	}
+
+	blk, err := syntax.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esdump:", err)
+		os.Exit(1)
+	}
+	if all || *surface {
+		if all {
+			fmt.Println("surface:")
+		}
+		fmt.Println(indent(all, syntax.UnparseBody(blk)))
+	}
+	if all || *coreF {
+		if all {
+			fmt.Println("core:")
+		}
+		fmt.Println(indent(all, syntax.UnparseBody(syntax.Rewrite(blk).(*syntax.Block))))
+	}
+}
+
+func indent(yes bool, s string) string {
+	if !yes {
+		return s
+	}
+	return "  " + s
+}

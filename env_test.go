@@ -1,0 +1,246 @@
+package es
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEnvClosureRoundTrip is E5 in-process: a closure with captured
+// lexical bindings survives export to environment strings and re-import
+// by a fresh interpreter.
+func TestEnvClosureRoundTrip(t *testing.T) {
+	sh1, out1, _ := newTestShell(t)
+	runOut(t, sh1, out1, "let (a=b) fn foo {echo $a}")
+	runOut(t, sh1, out1, "fn greet who {echo hello, $who}")
+	runOut(t, sh1, out1, "colors = red green blue")
+
+	env := sh1.Interp().ExportEnv()
+
+	var out2 bytes.Buffer
+	sh2, err := New(Options{Stdout: &out2, Environ: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh2.Run("foo"); err != nil {
+		t.Fatalf("foo in child: %v", err)
+	}
+	if _, err := sh2.Run("greet world"); err != nil {
+		t.Fatalf("greet in child: %v", err)
+	}
+	if got := out2.String(); got != "b\nhello, world\n" {
+		t.Errorf("child output = %q", got)
+	}
+	if got := sh2.Get("colors").Flatten(","); got != "red,green,blue" {
+		t.Errorf("colors = %q", got)
+	}
+}
+
+// Settor functions pass through the environment too.
+func TestEnvSettorRoundTrip(t *testing.T) {
+	sh1, out1, _ := newTestShell(t)
+	runOut(t, sh1, out1, "set-z = @ {echo settor ran; return $*}")
+	env := sh1.Interp().ExportEnv()
+
+	var out2 bytes.Buffer
+	sh2, err := New(Options{Stdout: &out2, Environ: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh2.Run("z = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if out2.String() != "settor ran\n" {
+		t.Errorf("settor output = %q", out2.String())
+	}
+}
+
+// The path/PATH aliasing works on imported environments: a conventional
+// colon-separated PATH becomes the es list path.
+func TestEnvPathAliasing(t *testing.T) {
+	var out bytes.Buffer
+	sh, err := New(Options{Stdout: &out, Environ: []string{"PATH=/bin:/usr/bin:/opt/x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Get("path").Flatten(","); got != "/bin,/usr/bin,/opt/x" {
+		t.Errorf("path = %q", got)
+	}
+	// And the other way: assigning path updates PATH.
+	if _, err := sh.Run("path = /a /b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Get("PATH").Flatten(""); got != "/a:/b" {
+		t.Errorf("PATH = %q", got)
+	}
+	if got := sh.Get("path").Flatten(","); got != "/a,/b" {
+		t.Errorf("path after assign = %q", got)
+	}
+}
+
+// Multi-word values cross the environment with the \001 separator.
+func TestEnvListSeparator(t *testing.T) {
+	sh1, out1, _ := newTestShell(t)
+	runOut(t, sh1, out1, "words = alpha 'two words' gamma")
+	env := sh1.Interp().ExportEnv()
+	found := false
+	for _, kv := range env {
+		if strings.HasPrefix(kv, "words=") {
+			found = true
+			if kv != "words=alpha\x01two words\x01gamma" {
+				t.Errorf("encoded = %q", kv)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("words not exported")
+	}
+	sh2, err := New(Options{Environ: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sh2.Get("words")
+	if len(v) != 3 || v[1].String() != "two words" {
+		t.Errorf("imported words = %v", v)
+	}
+}
+
+var (
+	esBinOnce sync.Once
+	esBinPath string
+	esBinErr  error
+)
+
+// buildEs builds the real es binary once per test run.
+func buildEs(t *testing.T) string {
+	t.Helper()
+	esBinOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "esbin")
+		if err != nil {
+			esBinErr = err
+			return
+		}
+		esBinPath = filepath.Join(dir, "es")
+		cmd := exec.Command("go", "build", "-o", esBinPath, "./cmd/es")
+		cmd.Dir = mustGetwd()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			esBinErr = err
+			t.Logf("go build: %s", out)
+		}
+	})
+	if esBinErr != nil {
+		t.Skipf("cannot build es binary: %v", esBinErr)
+	}
+	return esBinPath
+}
+
+func mustGetwd() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	return wd
+}
+
+// TestSubshellInheritsFunctions is E5 with real processes: the parent
+// shell defines functions, then runs the real es binary as an external
+// command; the child receives fn- definitions through the environment —
+// no configuration file involved — exactly the paper's mechanism that
+// makes "shell startup very quick".
+func TestSubshellInheritsFunctions(t *testing.T) {
+	bin := buildEs(t)
+	sh, out, errw := newTestShell(t)
+	runOut(t, sh, out, "fn greet who {echo hello, $who}")
+	runOut(t, sh, out, "let (sep = ::) fn wrap x {echo $sep $x $sep}")
+	got := runOut(t, sh, out, bin+" -c 'greet world; wrap mid'")
+	if got != "hello, world\n:: mid ::\n" {
+		t.Errorf("child output = %q (stderr: %q)", got, errw.String())
+	}
+}
+
+// A spoofed hook inherited through the environment changes the child's
+// behaviour too: the noclobber %create spoof survives the process
+// boundary.
+func TestSubshellInheritsSpoof(t *testing.T) {
+	bin := buildEs(t)
+	sh, out, errw := newTestShell(t)
+	dir := t.TempDir()
+	runOut(t, sh, out, "cd "+dir)
+	runOut(t, sh, out, `
+let (create = $fn-%create)
+fn %create fd file cmd {
+	if {test -f $file} {
+		throw error $file exists
+	} {
+		$create $fd $file $cmd
+	}
+}`)
+	runOut(t, sh, out, "echo v1 > guarded")
+	// The child es inherits fn-%create; its redirection refuses to
+	// clobber.
+	out.Reset()
+	res, err := sh.Run(bin + " -c 'echo v2 > guarded'")
+	if err != nil {
+		t.Fatalf("child run: %v", err)
+	}
+	if res.True() {
+		t.Errorf("child should have failed (stderr %q)", errw.String())
+	}
+	if !strings.Contains(errw.String(), "guarded exists") {
+		t.Errorf("stderr = %q", errw.String())
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "guarded"))
+	if string(data) != "v1\n" {
+		t.Errorf("guarded clobbered: %q", data)
+	}
+}
+
+// The es binary works end to end: -c, scripts, stdin REPL, exit status.
+func TestEsBinaryBasics(t *testing.T) {
+	bin := buildEs(t)
+
+	outB, err := exec.Command(bin, "-c", "echo one | tr a-z A-Z").Output()
+	if err != nil {
+		t.Fatalf("-c: %v", err)
+	}
+	if string(outB) != "ONE\n" {
+		t.Errorf("-c output = %q", outB)
+	}
+
+	// Script file with arguments in $*.
+	dir := t.TempDir()
+	script := filepath.Join(dir, "s.es")
+	if err := os.WriteFile(script, []byte("echo script got $*\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outB, err = exec.Command(bin, script, "a", "b").Output()
+	if err != nil {
+		t.Fatalf("script: %v", err)
+	}
+	if string(outB) != "script got a b\n" {
+		t.Errorf("script output = %q", outB)
+	}
+
+	// Interactive from stdin; exit status via exit.
+	cmd := exec.Command(bin)
+	cmd.Stdin = strings.NewReader("echo interactive\nexit 7\n")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	err = cmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 7 {
+		t.Fatalf("exit status: %v", err)
+	}
+	if stdout.String() != "interactive\n" {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+
+	// Failing status propagates.
+	err = exec.Command(bin, "-c", "false").Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Errorf("false status: %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package es_test
+
+import (
+	"fmt"
+	"os"
+
+	"es"
+)
+
+// The basics: define a shell function and call it.
+func Example() {
+	sh, err := es.New(es.Options{Stdout: os.Stdout})
+	if err != nil {
+		panic(err)
+	}
+	sh.Run("fn greet who {echo hello, $who}")
+	sh.Run("greet world")
+	// Output:
+	// hello, world
+}
+
+// Program fragments are first-class values: store one in a variable,
+// pass it around, run it later.
+func ExampleShell_Run_fragments() {
+	sh, _ := es.New(es.Options{Stdout: os.Stdout})
+	sh.Run("task = {echo deferred work}")
+	sh.Run("fn run-later t {echo running...; $t}")
+	sh.Run("run-later $task")
+	// Output:
+	// running...
+	// deferred work
+}
+
+// Rich return values cross the Go boundary as Lists of Terms.
+func ExampleShell_Run_richReturn() {
+	sh, _ := es.New(es.Options{})
+	sh.Run("fn pair {return first {echo a closure}}")
+	res, _ := sh.Run("result <>{pair}")
+	fmt.Println(len(res), res[0].String(), res[1].IsClosure())
+	// Output:
+	// 2 first true
+}
+
+// Spoofing: redefine a shell service from the shell language.
+func ExampleShell_Run_spoofing() {
+	sh, _ := es.New(es.Options{Stdout: os.Stdout})
+	sh.Run(`
+let (echo = $fn-echo)
+fn echo {
+	$echo '>>' $*
+}`)
+	sh.Run("echo spoofed output")
+	// Output:
+	// >> spoofed output
+}
+
+// Uncaught es exceptions surface as *es.Exception errors.
+func ExampleShell_Run_exceptions() {
+	sh, _ := es.New(es.Options{})
+	_, err := sh.Run("throw error something went wrong")
+	if exc, ok := err.(*es.Exception); ok {
+		fmt.Println(exc.Name(), "|", exc.Error())
+	}
+	// Output:
+	// error | error something went wrong
+}
+
+// Go code extends the language with new primitives.
+func ExampleShell_RegisterPrim() {
+	sh, _ := es.New(es.Options{Stdout: os.Stdout})
+	sh.RegisterPrim("reverse", func(i *es.Interp, ctx *es.Ctx, args es.List) (es.List, error) {
+		out := make(es.List, len(args))
+		for k, t := range args {
+			out[len(args)-1-k] = t
+		}
+		return out, nil
+	})
+	sh.Run("echo <>{$&reverse a b c}")
+	// Output:
+	// c b a
+}
+
+// Get and Set bridge Go and shell state; Set runs settor functions.
+func ExampleShell_Set() {
+	sh, _ := es.New(es.Options{Stdout: os.Stdout})
+	sh.Run("set-level = @ {echo level changed to $*; return $*}")
+	sh.Set("level", "high")
+	fmt.Println(sh.Get("level").Flatten(" "))
+	// Output:
+	// level changed to high
+	// high
+}

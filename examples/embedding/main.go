@@ -1,0 +1,103 @@
+// Embedding demonstrates the paper's future-work item — "a 'library'
+// version of es which could be used stand-alone as a shell or linked in
+// other programs" — by using es as the scripting language of a toy build
+// tool: Go registers domain primitives, and the "build file" is an es
+// script that composes them with shell functions, closures and
+// exceptions.
+//
+// Run with: go run ./examples/embedding
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"es"
+)
+
+// The build file: ordinary es.  Targets are closures; `needs` recurses
+// through the dependency graph; a failure anywhere aborts via the
+// exception machinery.
+const buildScript = `
+fn target name body {
+	fn-target-$name = $body
+}
+fn needs targets {
+	for (t = $targets) {
+		build $t
+	}
+}
+fn build name {
+	if {~ $#(built-$name) 0} {
+		built-$name = yes
+		let (body = $(fn-target-$name)) {
+			if {~ $#body 0} {
+				throw error no rule to make target $name
+			}
+			echo '==' building $name
+			$body
+		}
+	}
+}
+
+target lib {
+	compile src/lib.go
+}
+target app {
+	needs lib
+	compile src/app.go
+	link app lib
+}
+target test {
+	needs app
+	run-tests app
+}
+`
+
+func main() {
+	sh, err := es.New(es.Options{Stdout: os.Stdout, Stderr: os.Stderr})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Domain primitives provided by the host program.  They are
+	// $&-primitives: visible to the script, impossible to redefine.
+	step := func(verb string) es.PrimFunc {
+		return func(i *es.Interp, ctx *es.Ctx, args es.List) (es.List, error) {
+			fmt.Fprintf(ctx.Stdout(), "   [go] %s %s\n", verb, args.Flatten(" "))
+			return es.StrList("0"), nil
+		}
+	}
+	sh.RegisterPrim("compile", step("compiling"))
+	sh.RegisterPrim("link", step("linking"))
+	sh.RegisterPrim("run-tests", step("testing"))
+	// Make them callable by bare name.
+	for _, n := range []string{"compile", "link", "run-tests"} {
+		if _, err := sh.Run("fn-" + n + " = $&" + n); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if _, err := sh.Run(buildScript); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- build test (pulls in app, which pulls in lib) --")
+	if _, err := sh.Run("build test"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- building again: everything cached --")
+	if _, err := sh.Run("build test"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- missing target raises an es exception Go can inspect --")
+	_, err = sh.Run("build deploy")
+	if exc, ok := err.(*es.Exception); ok {
+		fmt.Printf("   [go] caught exception %q: %s\n", exc.Name(), exc.Error())
+	} else {
+		log.Fatalf("expected exception, got %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+// Gcreport reproduces the paper's garbage-collection measurements: it
+// replays shell allocation profiles through the copying collector and
+// reports the fraction of running time spent collecting (the paper:
+// "roughly 4% of the running time of the shell"), collection counts, and
+// live-data stability across workloads.
+//
+// Run with: go run ./examples/gcreport [commands]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"es/internal/gc"
+)
+
+func main() {
+	commands := 20000
+	if len(os.Args) > 1 {
+		if n, err := strconv.Atoi(os.Args[1]); err == nil {
+			commands = n
+		}
+	}
+
+	profiles := []struct {
+		name string
+		p    gc.CommandProfile
+		heap int
+	}{
+		{"interactive (default)", gc.DefaultProfile, 4096},
+		{"loop-heavy (obs. 2)", loopProfile(), 4096},
+		{"big environment", bigEnvProfile(), 8192},
+		{"tight heap", gc.DefaultProfile, gc.MinHeap},
+	}
+
+	fmt.Printf("replaying %d command cycles per profile\n\n", commands)
+	fmt.Printf("%-24s %10s %8s %8s %10s %10s %8s\n",
+		"profile", "allocated", "GCs", "grows", "live", "GC time", "GC frac")
+	for _, pr := range profiles {
+		h := gc.NewHeap(pr.heap)
+		start := time.Now()
+		stats := gc.Replay(h, pr.p, commands)
+		wall := time.Since(start)
+		frac := float64(stats.GCTime) / float64(wall) * 100
+		fmt.Printf("%-24s %10d %8d %8d %10d %10v %7.1f%%\n",
+			pr.name, stats.Allocated, stats.Collections, stats.Grows,
+			stats.LiveAfterGC, stats.GCTime.Round(time.Microsecond), frac)
+	}
+
+	fmt.Println("\ndebug collector (collect at every allocation, old space poisoned):")
+	h := gc.NewHeap(512)
+	h.Debug = true
+	start := time.Now()
+	stats := gc.Replay(h, gc.DefaultProfile, commands/100)
+	fmt.Printf("%-24s %10d %8d collections in %v\n",
+		"debug mode", stats.Allocated, stats.Collections,
+		time.Since(start).Round(time.Millisecond))
+	fmt.Println("\nthe paper reports collection taking roughly 4% of shell runtime;")
+	fmt.Println("see EXPERIMENTS.md (E4) for the calibrated comparison.")
+}
+
+func loopProfile() gc.CommandProfile {
+	p := gc.DefaultProfile
+	p.LoopDepth = 16
+	return p
+}
+
+func bigEnvProfile() gc.CommandProfile {
+	p := gc.DefaultProfile
+	p.EnvSize = 1024
+	return p
+}

@@ -1,0 +1,104 @@
+// Pathcache reproduces Figure 2 of the paper: caching the full pathnames
+// of executables by spoofing %pathsearch.  "Es does not provide this
+// functionality in the shell, but it can easily be added by any user who
+// wants it."
+//
+// The program builds a synthetic $path of N mostly-empty directories with
+// the target binary in the last one, then measures lookups before and
+// after the cache warms, and demonstrates recache.
+//
+// Run with: go run ./examples/pathcache [ndirs]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"es"
+)
+
+const pathCacheSpoof = `
+let (search = $fn-%pathsearch) {
+	fn %pathsearch prog {
+		let (file = <>{$search $prog}) {
+			if {~ $#file 1 && ~ $file /*} {
+				path-cache = $path-cache $prog
+				fn-$prog = $file
+			}
+			return $file
+		}
+	}
+}
+fn recache {
+	for (i = $path-cache)
+		fn-$i =
+	path-cache =
+}`
+
+func main() {
+	ndirs := 64
+	if len(os.Args) > 1 {
+		if n, err := strconv.Atoi(os.Args[1]); err == nil {
+			ndirs = n
+		}
+	}
+
+	root, err := os.MkdirTemp("", "pathcache")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+	dirs := make([]string, ndirs)
+	for k := range dirs {
+		dirs[k] = filepath.Join(root, fmt.Sprintf("bin%03d", k))
+		if err := os.MkdirAll(dirs[k], 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	target := filepath.Join(dirs[ndirs-1], "mytool")
+	if err := os.WriteFile(target, []byte("#!/bin/true\n"), 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	sh, err := es.New(es.Options{Stdout: os.Stdout, Stderr: os.Stderr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sh.Set("path", dirs...); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sh.Run(pathCacheSpoof); err != nil {
+		log.Fatal(err)
+	}
+
+	// whatis resolves a name exactly like command dispatch: through the
+	// fn- cache when it is warm, through the (spoofed) %pathsearch hook
+	// when it is cold.
+	lookup := func() time.Duration {
+		start := time.Now()
+		if _, err := sh.Run("whatis mytool >[1=]"); err != nil {
+			log.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	cold := lookup()
+	warm := lookup()
+	fmt.Printf("path of %d directories, target in the last\n", ndirs)
+	fmt.Printf("cold lookup (walks $path):     %v\n", cold)
+	fmt.Printf("cached lookup (fn- variable):  %v\n", warm)
+	fmt.Printf("cache contents: path-cache = %v\n", sh.Get("path-cache").Strings())
+	fmt.Printf("fn-mytool = %v\n", sh.Get("fn-mytool").Strings())
+
+	if _, err := sh.Run("recache"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after recache: path-cache = %v, fn-mytool = %v\n",
+		sh.Get("path-cache").Strings(), sh.Get("fn-mytool").Strings())
+	recold := lookup()
+	fmt.Printf("post-recache lookup (cold again): %v\n", recold)
+}

@@ -1,0 +1,57 @@
+// Pipeprofile reproduces Figure 1 of the paper: timing each element of a
+// pipeline by spoofing %pipe, "along the lines of the pipeline profiler
+// suggested by Jon Bentley".
+//
+// It runs the paper's word-frequency pipeline over a bundled corpus; the
+// six most frequent words appear on stdout and one timing line per
+// pipeline element on stderr, in the paper's `2r 0.3u 0.2s cat paper9`
+// format.
+//
+// Run with: go run ./examples/pipeprofile [file]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"es"
+)
+
+const pipeSpoof = `
+let (pipe = $fn-%pipe) {
+	fn %pipe first out in rest {
+		if {~ $#out 0} {
+			time $first
+		} {
+			$pipe {time $first} $out $in {%pipe $rest}
+		}
+	}
+}`
+
+func main() {
+	corpus := filepath.Join("testdata", "paper.txt")
+	if len(os.Args) > 1 {
+		corpus = os.Args[1]
+	}
+	if _, err := os.Stat(corpus); err != nil {
+		log.Fatalf("corpus %s: %v (run from the repository root)", corpus, err)
+	}
+
+	sh, err := es.New(es.Options{Stdout: os.Stdout, Stderr: os.Stderr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sh.Run(pipeSpoof); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("word frequencies (stdout) and per-element timings (stderr):")
+	pipeline := fmt.Sprintf(
+		`cat %s | tr -cs a-zA-Z0-9 '\012' | sort | uniq -c | sort -nr | sed 6q`,
+		corpus)
+	if _, err := sh.Run(pipeline); err != nil {
+		log.Fatal(err)
+	}
+}

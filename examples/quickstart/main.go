@@ -1,0 +1,67 @@
+// Quickstart: embed the es shell in a Go program and exercise the
+// paper's headline features — functions as values, lexical scoping, rich
+// return values, and exceptions.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"es"
+)
+
+func main() {
+	sh, err := es.New(es.Options{Stdout: os.Stdout, Stderr: os.Stderr})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	must := func(src string) es.List {
+		res, err := sh.Run(src)
+		if err != nil {
+			log.Fatalf("%s: %v", src, err)
+		}
+		return res
+	}
+
+	fmt.Println("-- shell functions and higher-order apply --")
+	must(`fn apply cmd args {for (i = $args) $cmd $i}`)
+	must(`apply echo testing 1.. 2.. 3..`)
+	must(`apply @ i {echo [$i]} a b`)
+
+	fmt.Println("-- program fragments are values --")
+	must(`silly-command = {echo hi}`)
+	must(`$silly-command`)
+	must(`mixed = {echo first} hello, {echo third} world`)
+	must(`echo $mixed(2) $mixed(4)`)
+
+	fmt.Println("-- lexical scoping and closures --")
+	must(`let (h=hello; w=world) {hi = {echo $h, $w}}`)
+	must(`$hi`)
+
+	fmt.Println("-- rich return values --")
+	must(`fn pair {return first second}`)
+	must(`echo got: <>{pair}`)
+	res := must(`result these cross the Go boundary {as a closure}`)
+	fmt.Printf("from Go: %d terms, last is closure: %v\n",
+		len(res), res[len(res)-1].IsClosure())
+
+	fmt.Println("-- exceptions --")
+	must(`
+fn safe-div a b {
+	if {~ $b 0} {throw error division by zero}
+	result ` + "`" + `{expr $a / $b}
+}
+catch @ e msg {
+	echo caught: $msg
+} {
+	echo 10/2 '=' <>{safe-div 10 2}
+	echo 10/0 '=' <>{safe-div 10 0}
+}`)
+
+	fmt.Println("-- pipes between builtins --")
+	must(`echo es is a shell with higher-order functions | tr a-z A-Z`)
+}

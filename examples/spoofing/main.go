@@ -1,0 +1,85 @@
+// Spoofing walks through the paper's "Spoofing" section: every shell
+// service is a %-hook over an unoverridable $&-primitive, so redirection,
+// cd, path search and even the REPL can be replaced from the shell.
+//
+// Run with: go run ./examples/spoofing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"es"
+)
+
+func main() {
+	sh, err := es.New(es.Options{Stdout: os.Stdout, Stderr: os.Stderr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	must := func(src string) {
+		if _, err := sh.Run(src); err != nil {
+			log.Fatalf("%s: %v", src, err)
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "spoofing")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	must("cd " + dir)
+
+	os.Stdout.WriteString("-- what the rewriter does: ls > file IS %create 1 file {ls} --\n")
+	must(`%create 1 via-hook {echo written through the hook}`)
+	must(`cat via-hook`)
+
+	os.Stdout.WriteString("\n-- noclobber: spoofing %create (the paper's example) --\n")
+	must(`
+let (create = $fn-%create)
+fn %create fd file cmd {
+	if {test -f $file} {
+		throw error $file exists
+	} {
+		$create $fd $file $cmd
+	}
+}`)
+	must(`echo first version > precious`)
+	if _, err := sh.Run(`echo second version > precious`); err != nil {
+		fmt.Println("redirection refused:", err)
+	}
+	must(`cat precious`)
+
+	fmt.Println("\n-- tracing calls by wrapping fn- variables --")
+	must(`
+fn trace functions {
+	for (func = $functions)
+		let (old = $(fn-$func))
+			fn $func args {
+				echo calling $func $args
+				$old $args
+			}
+}
+fn greet who {echo hello, $who}
+trace greet
+greet world`)
+
+	os.Stdout.WriteString("\n-- counting pipeline elements by spoofing %pipe --\n")
+	must(`
+pipeline-elements = 0
+let (pipe = $fn-%pipe) {
+	fn %pipe args {
+		pipeline-elements = <>{$&count $pipeline-elements x}
+		$pipe $args
+	}
+}
+echo spoofed pipes still work | tr a-z A-Z | cat`)
+	fmt.Printf("elements seen by the spoof: %s\n",
+		sh.Get("pipeline-elements").Flatten(" "))
+
+	fmt.Println("\n-- the primitive remains reachable: $&create bypasses the hook --")
+	must(`$&create 1 clobber-me {echo one}`)
+	must(`$&create 1 clobber-me {echo two}`)
+	must(`cat clobber-me`)
+}

@@ -1,0 +1,141 @@
+// Webhooks embeds es as the configuration and handler language of an
+// HTTP server: routes are es closures, so operators script behaviour —
+// including spoofing and exceptions — without recompiling the host.
+//
+// It starts a server on a local port, exercises it with three requests,
+// and shuts down; run with: go run ./examples/webhooks
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"es"
+)
+
+// The "site configuration" is an es script.  route registers a closure
+// per path; handlers write the response body to stdout, set headers via
+// the $&header primitive, and signal HTTP errors by throwing.
+const siteConfig = `
+fn route path handler {
+	fn-route-$path = $handler
+}
+
+hits =
+
+route /hello @ method path {
+	echo hello from es, you did a $method on $path
+}
+
+route /counter @ {
+	hits = $hits x
+	echo $#hits requests so far
+}
+
+route /teapot @ {
+	$&header Status 418
+	echo short and stout
+}
+
+# Errors anywhere become HTTP 500s with the exception text.
+route /broken @ {
+	throw error this route is broken on purpose
+}
+
+fn dispatch path method {
+	if {~ $#(fn-route-$path) 0} {
+		throw no-route $path
+	}
+	$(fn-route-$path) $method $path
+}
+`
+
+// esHandler adapts an es closure to http.Handler.
+type esHandler struct {
+	mu sync.Mutex // one interpreter, serialized requests
+	sh *es.Shell
+}
+
+func (h *esHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	status := http.StatusOK
+	h.sh.RegisterPrim("header", func(i *es.Interp, ctx *es.Ctx, args es.List) (es.List, error) {
+		if len(args) == 2 && args[0].String() == "Status" {
+			fmt.Sscanf(args[1].String(), "%d", &status)
+			return es.StrList("0"), nil
+		}
+		if len(args) == 2 {
+			w.Header().Set(args[0].String(), args[1].String())
+			return es.StrList("0"), nil
+		}
+		return nil, fmt.Errorf("usage: $&header name value")
+	})
+
+	var body strings.Builder
+	h.sh.Interp().SetVarRaw("http-out", nil)
+	// Route dispatch happens in es: the dispatch function finds the
+	// handler closure or throws no-route.
+	src := fmt.Sprintf("dispatch %s %s", r.URL.Path, r.Method)
+	res, err := h.runCapturing(&body, src)
+	switch {
+	case es.IsException(err, "no-route"):
+		http.NotFound(w, r)
+		return
+	case err != nil:
+		http.Error(w, "es exception: "+err.Error(), http.StatusInternalServerError)
+		return
+	case !res.True():
+		status = http.StatusInternalServerError
+	}
+	w.WriteHeader(status)
+	io.WriteString(w, body.String())
+}
+
+// runCapturing temporarily routes the shell's stdout into buf.
+func (h *esHandler) runCapturing(buf *strings.Builder, src string) (es.List, error) {
+	ctx := h.sh.Context().WithIO(h.sh.Context().IO.WithFD(1, buf))
+	return h.sh.Interp().RunString(ctx, src)
+}
+
+func main() {
+	sh, err := es.New(es.Options{Stderr: io.Discard})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sh.Run(siteConfig); err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: &esHandler{sh: sh}}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("es-scripted server on", base)
+
+	get := func(path string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("GET %-9s -> %d %q\n", path, resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	get("/hello")
+	get("/counter")
+	get("/counter")
+	get("/teapot")
+	get("/broken")
+	get("/missing")
+	srv.Close()
+}

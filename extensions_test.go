@@ -1,0 +1,156 @@
+package es
+
+// Tests for the released-es extensions layered on the paper's language:
+// $^var flattening and <<< herestrings.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlatVar(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "xs = a b c")
+	res, err := sh.Run("result $^xs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].String() != "a b c" {
+		t.Errorf("$^xs = %v", res)
+	}
+	// One word even as a command argument.
+	if got := runOut(t, sh, out, "echo <>{$&count $^xs}"); got != "1\n" {
+		t.Errorf("count of $^xs = %q", got)
+	}
+	// Flattening a null variable yields null, not an empty string.
+	res, err = sh.Run("result $^undefined-zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("$^undefined = %v", res)
+	}
+}
+
+func TestFlatVarUnparse(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "fn flatfn {echo $^args}")
+	got := runOut(t, sh, out, "whatis flatfn")
+	if got != "@ * {echo $^args}\n" {
+		t.Errorf("whatis = %q", got)
+	}
+}
+
+func TestHerestring(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	got := runOut(t, sh, out, "tr a-z A-Z <<< 'hello there'")
+	if got != "HELLO THERE\n" {
+		t.Errorf("herestring = %q", got)
+	}
+	// Combined with variables and flattening.
+	runOut(t, sh, out, "words = one two three")
+	got = runOut(t, sh, out, "wc -w <<< $^words")
+	if strings.TrimSpace(got) != "3" {
+		t.Errorf("herestring wc = %q", got)
+	}
+	// The rewrite form is a spoofable hook.
+	got = runOut(t, sh, out, `
+let (here = $fn-%here) {
+	fn %here fd text cmd {
+		$here $fd UPPER-SPOOFED $cmd
+	}
+}
+cat <<< original`)
+	if got != "UPPER-SPOOFED\n" {
+		t.Errorf("spoofed %%here = %q", got)
+	}
+}
+
+func TestHerestringRewrite(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	// %here is reachable directly, like every primitive.
+	got := runOut(t, sh, out, "%here 0 direct-input {cat}")
+	if got != "direct-input\n" {
+		t.Errorf("%%here direct = %q", got)
+	}
+}
+
+func TestHeredoc(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	got := runOut(t, sh, out, "tr a-z A-Z << EOF\nline one\nline two\nEOF\necho after")
+	if got != "LINE ONE\nLINE TWO\nafter\n" {
+		t.Errorf("heredoc = %q", got)
+	}
+	// The body is literal: no substitution.
+	got = runOut(t, sh, out, "x = expanded; cat << END\n$x stays raw\nEND")
+	if got != "$x stays raw\n" {
+		t.Errorf("heredoc body = %q", got)
+	}
+	// Empty body.
+	got = runOut(t, sh, out, "wc -l << E\nE")
+	if strings.TrimSpace(got) != "1" { // the synthetic trailing newline
+		t.Errorf("empty heredoc wc = %q", got)
+	}
+	// Unterminated heredocs are incomplete (REPL continuation).
+	_, err := sh.Run("cat << EOF\nno terminator")
+	if err == nil {
+		t.Fatal("unterminated heredoc should fail")
+	}
+	// Commands after the heredoc on the same line still parse.
+	got = runOut(t, sh, out, "cat << A | tr a-z A-Z\nbody here\nA")
+	if got != "BODY HERE\n" {
+		t.Errorf("heredoc in pipeline = %q", got)
+	}
+}
+
+func TestPidAndScriptName(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	pid := sh.Get("pid").Flatten("")
+	if pid == "" || pid == "0" {
+		t.Errorf("pid = %q", pid)
+	}
+	dir := t.TempDir()
+	path := dir + "/named.es"
+	if err := writeFile(path, "echo running $0 with $*"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if _, err := sh.RunFile(path, "a1"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "running "+path+" with a1\n" {
+		t.Errorf("$0 transcript = %q", out.String())
+	}
+}
+
+// ~~ extracts what the wildcards matched (released-es extension).
+func TestMatchExtract(t *testing.T) {
+	sh, _, _ := newTestShell(t)
+	tests := []struct{ src, want string }{
+		{"result <>{~~ main.c *.c}", "main"},
+		{"result <>{~~ left-right *-*}", "left right"},
+		{"result <>{~~ v7 v[0-9]}", "7"},
+		{"result <>{~~ exact exact}", ""},
+		{"result <>{~~ (nope main.go) *.go}", "main"},
+	}
+	for _, tt := range tests {
+		res, err := sh.Run(tt.src)
+		if err != nil {
+			t.Errorf("%q: %v", tt.src, err)
+			continue
+		}
+		if res.Flatten(" ") != tt.want {
+			t.Errorf("%q = %q, want %q", tt.src, res.Flatten(" "), tt.want)
+		}
+	}
+	// No match is false.
+	res, err := sh.Run("~~ main.go *.c")
+	if err != nil || res.True() {
+		t.Errorf("no-match extract = %v, %v", res, err)
+	}
+	// Quoted wildcards are literal in ~~ too.
+	res, err = sh.Run("~~ star '*'")
+	if err != nil || res.True() {
+		t.Errorf("literal extract matched: %v", res)
+	}
+}

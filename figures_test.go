@@ -1,0 +1,285 @@
+package es
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// pipeSpoof is the paper's Figure 1 %pipe replacement, verbatim: it times
+// each element of every pipeline.
+const pipeSpoof = `
+let (pipe = $fn-%pipe) {
+	fn %pipe first out in rest {
+		if {~ $#out 0} {
+			time $first
+		} {
+			$pipe {time $first} $out $in {%pipe $rest}
+		}
+	}
+}`
+
+// wordFreqPipeline is the paper's Figure 1 workload over our corpus.
+const wordFreqPipeline = `cat testdata/paper.txt | tr -cs a-zA-Z0-9 '\012' | sort | uniq -c | sort -nr | sed 6q`
+
+// TestFigure1PipeProfile reproduces Figure 1: spoofing %pipe to time
+// pipeline elements.  The word-frequency output appears on stdout and one
+// timing line per pipeline element appears on stderr.
+func TestFigure1PipeProfile(t *testing.T) {
+	sh, out, errw := newTestShell(t)
+	runOut(t, sh, out, pipeSpoof)
+	got := runOut(t, sh, out, wordFreqPipeline)
+
+	// The pipeline's own output: six "count word" rows, most frequent
+	// first; in our corpus as in the paper's, "the" wins.
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d rows, want 6:\n%s", len(lines), got)
+	}
+	firstFields := strings.Fields(lines[0])
+	if len(firstFields) != 2 || firstFields[1] != "the" {
+		t.Errorf("top row = %q, want count + 'the'", lines[0])
+	}
+	prev := 1 << 30
+	for _, l := range lines {
+		var n int
+		var w string
+		if _, err := fmt.Sscanf(l, "%d %s", &n, &w); err != nil {
+			t.Fatalf("bad row %q: %v", l, err)
+		}
+		if n > prev {
+			t.Errorf("rows not sorted by frequency: %q", got)
+		}
+		prev = n
+	}
+
+	// The timing lines: one per element, in the paper's
+	// "2r 0.3u 0.2s\tcmd" format.
+	timing := regexp.MustCompile(`^\d+r \d+\.\d+u \d+\.\d+s\t`)
+	tlines := strings.Split(strings.TrimRight(errw.String(), "\n"), "\n")
+	if len(tlines) != 6 {
+		t.Fatalf("got %d timing lines, want 6:\n%s", len(tlines), errw.String())
+	}
+	wantCmds := []string{
+		"cat testdata/paper.txt",
+		"tr -cs a-zA-Z0-9 '\\012'",
+		"sort",
+		"uniq -c",
+		"sort -nr",
+		"sed 6q",
+	}
+	var seen []string
+	for _, l := range tlines {
+		if !timing.MatchString(l) {
+			t.Errorf("timing line %q does not match the paper's format", l)
+		}
+		parts := strings.SplitN(l, "\t", 2)
+		if len(parts) == 2 {
+			seen = append(seen, parts[1])
+		}
+	}
+	// Elements run concurrently, so timing lines may interleave in any
+	// order; every element must be present exactly once.
+	for _, want := range wantCmds {
+		n := 0
+		for _, s := range seen {
+			if s == want {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("element %q timed %d times (lines: %v)", want, n, seen)
+		}
+	}
+}
+
+// pathCacheSpoof is Figure 2 verbatim: %pathsearch caches successful
+// lookups in fn- variables, and recache drops the cache.
+const pathCacheSpoof = `
+let (search = $fn-%pathsearch) {
+	fn %pathsearch prog {
+		let (file = <>{$search $prog}) {
+			if {~ $#file 1 && ~ $file /*} {
+				path-cache = $path-cache $prog
+				fn-$prog = $file
+			}
+			return $file
+		}
+	}
+}
+fn recache {
+	for (i = $path-cache)
+		fn-$i =
+	path-cache =
+}`
+
+// TestFigure2PathCache reproduces Figure 2: path caching by spoofing
+// %pathsearch.
+func TestFigure2PathCache(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+
+	// A synthetic $path: several empty directories, the target in the
+	// last one.
+	root := t.TempDir()
+	var dirs []string
+	for k := 0; k < 8; k++ {
+		d := filepath.Join(root, fmt.Sprintf("bin%d", k))
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		dirs = append(dirs, d)
+	}
+	target := filepath.Join(dirs[len(dirs)-1], "mytool")
+	script := "#!" + selfExe(t) + "\n"
+	if err := os.WriteFile(target, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Set("path", dirs...); err != nil {
+		t.Fatal(err)
+	}
+
+	runOut(t, sh, out, pathCacheSpoof)
+
+	// First lookup goes through the spoof and populates the cache.
+	got := runOut(t, sh, out, "echo <>{%pathsearch mytool}")
+	if strings.TrimSpace(got) != target {
+		t.Fatalf("pathsearch = %q, want %q", got, target)
+	}
+	if cache := sh.Get("path-cache"); len(cache) != 1 || cache[0].String() != "mytool" {
+		t.Errorf("path-cache = %v", cache)
+	}
+	// The cache is an ordinary fn- variable: invoking mytool now goes
+	// straight to the file without searching.
+	if fn := sh.Get("fn-mytool"); len(fn) != 1 || fn[0].String() != target {
+		t.Errorf("fn-mytool = %v", fn)
+	}
+
+	// recache empties the cache.
+	runOut(t, sh, out, "recache")
+	if cache := sh.Get("path-cache"); len(cache) != 0 {
+		t.Errorf("path-cache after recache = %v", cache)
+	}
+	if fn := sh.Get("fn-mytool"); len(fn) != 0 {
+		t.Errorf("fn-mytool after recache = %v", fn)
+	}
+}
+
+// selfExe returns an executable that exists on any test machine.
+func selfExe(t *testing.T) string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skip("no executable path available")
+	}
+	return exe
+}
+
+// scriptReader feeds scripted lines to %parse.
+type scriptReader struct {
+	lines []string
+	pos   int
+}
+
+func (r *scriptReader) ReadLine() (string, error) {
+	if r.pos >= len(r.lines) {
+		return "", io.EOF
+	}
+	l := r.lines[r.pos]
+	r.pos++
+	return l, nil
+}
+
+// TestFigure3InteractiveLoop drives the default interactive loop — which
+// is written in es itself (Figure 3) — with a scripted session: prompts
+// go to stderr, errors are reported and the loop retries, and eof returns
+// the last result.
+func TestFigure3InteractiveLoop(t *testing.T) {
+	sh, out, errw := newTestShell(t)
+	res, err := sh.Interactive(&scriptReader{lines: []string{
+		"echo one",
+		"fn f {",      // multi-line command: continuation prompt
+		"  echo two",  //
+		"}",           //
+		"f",           //
+		"nosuchcmd-q", // error exception: printed, loop continues
+		"throw zork grue",
+		"result 7 5", // the loop's last result
+	}})
+	if err != nil {
+		t.Fatalf("Interactive: %v", err)
+	}
+	if got := out.String(); got != "one\ntwo\n" {
+		t.Errorf("stdout = %q", got)
+	}
+	e := errw.String()
+	if !strings.Contains(e, "; ") {
+		t.Errorf("no prompt on stderr: %q", e)
+	}
+	if !strings.Contains(e, "nosuchcmd-q: not found") {
+		t.Errorf("error not reported: %q", e)
+	}
+	if !strings.Contains(e, "uncaught exception: zork grue") {
+		t.Errorf("uncaught exception not reported: %q", e)
+	}
+	if res.Flatten(" ") != "7 5" {
+		t.Errorf("loop result = %v, want 7 5", res)
+	}
+}
+
+// The loop itself is spoofable: redefining %interactive-loop changes the
+// REPL.
+func TestFigure3LoopSpoofable(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "fn %interactive-loop {echo my repl; result 42}")
+	res, err := sh.Interactive(&scriptReader{})
+	if err != nil {
+		t.Fatalf("Interactive: %v", err)
+	}
+	if out.String() != "my repl\n" || res.Flatten(" ") != "42" {
+		t.Errorf("spoofed loop: out=%q res=%v", out.String(), res)
+	}
+}
+
+// The default prompt "; " pastes back as a null command + separator, so a
+// cut-and-pasted line with its prompt re-executes.
+func TestFigure3PromptPasteback(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	if got := runOut(t, sh, out, "; echo pasted"); got != "pasted\n" {
+		t.Errorf("pasteback = %q", got)
+	}
+	prompt := sh.Get("prompt")
+	if len(prompt) != 2 || prompt[0].String() != "; " || prompt[1].String() != "" {
+		t.Errorf("default prompt = %v", prompt)
+	}
+}
+
+// A timing sanity check used by the bench harness as well: spoofed pipes
+// nest, so a doubly-spoofed %pipe still works (the paper recommends
+// capturing the previous definition precisely to allow this).
+func TestFigure1SpoofStacking(t *testing.T) {
+	sh, out, errw := newTestShell(t)
+	runOut(t, sh, out, pipeSpoof)
+	// Second spoof on top: counts pipeline elements.
+	runOut(t, sh, out, `
+elements = 0
+let (pipe = $fn-%pipe) {
+	fn %pipe args {
+		elements = $elements x
+		$pipe $args
+	}
+}`)
+	got := runOut(t, sh, out, "echo hello | tr a-z A-Z")
+	if got != "HELLO\n" {
+		t.Errorf("pipeline output = %q", got)
+	}
+	if !strings.Contains(errw.String(), "r ") {
+		t.Errorf("inner spoof (timing) lost: %q", errw.String())
+	}
+}
+
+var _ = bytes.MinRead

@@ -1,0 +1,3 @@
+module es
+
+go 1.22

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"es/internal/syntax"
+)
+
+// Environment encoding.  "A fair amount of es must be devoted to
+// 'unparsing' function definitions so that they may be passed as
+// environment strings.  This is complicated a bit more because the lexical
+// environment of a function definition must be preserved at unparsing":
+//
+//	es> let (a=b) fn foo {echo $a}
+//	es> whatis foo
+//	%closure(a=b)@ * {echo $a}
+//
+// Lists are joined with \001 (the traditional es separator); closures
+// carry their captured free variables in the %closure(...) prefix.
+
+const listSep = "\001"
+
+// EncodeValue renders a variable value as a single environment string.
+func EncodeValue(l List) string {
+	parts := make([]string, len(l))
+	for k, t := range l {
+		parts[k] = EncodeTerm(t)
+	}
+	return strings.Join(parts, listSep)
+}
+
+// EncodeTerm renders one term: closures get the %closure form.
+func EncodeTerm(t Term) string {
+	if t.Closure != nil {
+		return EncodeClosure(t.Closure)
+	}
+	if t.Prim != "" {
+		return "$&" + t.Prim
+	}
+	return t.Str
+}
+
+// EncodeClosure unparses a closure, making its captured lexical bindings
+// explicit.  Functions with no named parameters use "*" for binding
+// arguments, "for cultural compatibility with other shells".
+func EncodeClosure(c *Closure) string {
+	var b strings.Builder
+	caps := captures(c)
+	if len(caps) > 0 {
+		b.WriteString("%closure(")
+		for k, bind := range caps {
+			if k > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(bind.Name)
+			b.WriteByte('=')
+			for j, t := range bind.Value {
+				if j > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(encodeBindingTerm(t))
+			}
+		}
+		b.WriteString(")")
+	}
+	if c.HasParams {
+		b.WriteString("@ ")
+		for _, p := range c.Params {
+			b.WriteString(p)
+			b.WriteByte(' ')
+		}
+	} else {
+		b.WriteString("@ * ")
+	}
+	b.WriteByte('{')
+	b.WriteString(syntax.UnparseBody(c.Body))
+	b.WriteByte('}')
+	return b.String()
+}
+
+// encodeBindingTerm renders a captured value so it re-parses as one word.
+func encodeBindingTerm(t Term) string {
+	if t.Closure != nil {
+		return EncodeClosure(t.Closure)
+	}
+	if t.Prim != "" {
+		return "$&" + t.Prim
+	}
+	return syntax.QuoteString(t.Str)
+}
+
+// captures returns the bindings of the closure's environment that its
+// body actually references, innermost first, deduplicated by name.
+func captures(c *Closure) []*Binding {
+	if c.Env == nil {
+		return nil
+	}
+	free := make(map[string]bool)
+	all := freeVars(c.Body, paramSet(c), free)
+	var out []*Binding
+	seen := make(map[string]bool)
+	for b := c.Env; b != nil; b = b.Next {
+		if seen[b.Name] {
+			continue
+		}
+		if all || free[b.Name] {
+			seen[b.Name] = true
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func paramSet(c *Closure) map[string]bool {
+	bound := map[string]bool{"*": true} // $* is always application-bound
+	if c.HasParams {
+		for _, p := range c.Params {
+			bound[p] = true
+		}
+	}
+	return bound
+}
+
+// freeVars walks a block collecting free variable references into free.
+// It returns true if a computed name ($(...) or a non-literal assignment
+// target) makes the free set unknowable, in which case everything must be
+// captured.
+func freeVars(b *syntax.Block, bound map[string]bool, free map[string]bool) bool {
+	if b == nil {
+		return false
+	}
+	all := false
+	for _, c := range b.Cmds {
+		if freeVarsCmd(c, bound, free) {
+			all = true
+		}
+	}
+	return all
+}
+
+func freeVarsCmd(c syntax.Cmd, bound, free map[string]bool) bool {
+	switch c := c.(type) {
+	case nil:
+		return false
+	case *syntax.Block:
+		return freeVars(c, bound, free)
+	case *syntax.Simple:
+		return freeVarsWords(c.Words, bound, free)
+	case *syntax.Assign:
+		all := freeVarsWords(c.Values, bound, free)
+		if name, ok := c.Name.LitText(); ok {
+			if !bound[name] {
+				free[name] = true
+			}
+		} else {
+			all = true
+		}
+		return all
+	case *syntax.Let:
+		return freeVarsBindingForm(c.Bindings, c.Body, true, bound, free)
+	case *syntax.For:
+		return freeVarsBindingForm(c.Bindings, c.Body, true, bound, free)
+	case *syntax.Local:
+		return freeVarsBindingForm(c.Bindings, c.Body, false, bound, free)
+	case *syntax.Match:
+		all := freeVarsWords([]*syntax.Word{c.Subject}, bound, free)
+		if freeVarsWords(c.Pats, bound, free) {
+			all = true
+		}
+		return all
+	case *syntax.MatchExtract:
+		all := freeVarsWords([]*syntax.Word{c.Subject}, bound, free)
+		if freeVarsWords(c.Pats, bound, free) {
+			all = true
+		}
+		return all
+	case *syntax.Not:
+		return freeVarsCmd(c.Body, bound, free)
+	default:
+		// Surface nodes (pre-Rewrite): be conservative.
+		return true
+	}
+}
+
+// freeVarsBindingForm handles let/for (which bind lexically) and local
+// (which does not shadow lexical references).
+func freeVarsBindingForm(bindings []syntax.Binding, body syntax.Cmd, lexical bool, bound, free map[string]bool) bool {
+	all := false
+	inner := bound
+	if lexical {
+		inner = make(map[string]bool, len(bound)+len(bindings))
+		for k := range bound {
+			inner[k] = true
+		}
+	}
+	for _, b := range bindings {
+		if freeVarsWords(b.Values, bound, free) {
+			all = true
+		}
+		if name, ok := b.Name.LitText(); ok {
+			if lexical {
+				inner[name] = true
+			}
+		} else {
+			all = true
+		}
+	}
+	if freeVarsCmd(body, inner, free) {
+		all = true
+	}
+	return all
+}
+
+func freeVarsWords(words []*syntax.Word, bound, free map[string]bool) bool {
+	all := false
+	for _, w := range words {
+		if w == nil {
+			continue
+		}
+		for _, part := range w.Parts {
+			if freeVarsPart(part, bound, free) {
+				all = true
+			}
+		}
+	}
+	return all
+}
+
+func freeVarsPart(part syntax.Part, bound, free map[string]bool) bool {
+	switch part := part.(type) {
+	case *syntax.Var:
+		name, ok := part.Name.LitText()
+		if !ok {
+			return true // computed name: capture everything
+		}
+		if !bound[name] {
+			free[name] = true
+		}
+		if part.Double {
+			return true // indirection can reach any binding
+		}
+		all := false
+		for _, iw := range part.Index {
+			if freeVarsWords([]*syntax.Word{iw}, bound, free) {
+				all = true
+			}
+		}
+		return all
+	case *syntax.LambdaPart:
+		inner := make(map[string]bool, len(bound)+len(part.Lambda.Params))
+		for k := range bound {
+			inner[k] = true
+		}
+		if part.Lambda.HasParams {
+			for _, p := range part.Lambda.Params {
+				inner[p] = true
+			}
+		} else {
+			inner["*"] = true
+		}
+		return freeVars(part.Lambda.Body, inner, free)
+	case *syntax.CmdSub:
+		return freeVars(part.Body, bound, free)
+	case *syntax.RetSub:
+		return freeVars(part.Body, bound, free)
+	case *syntax.ListPart:
+		return freeVarsWords(part.Words, bound, free)
+	}
+	return false
+}
+
+// ExportEnv renders the exportable variables as environment strings.
+// "Since nearly all shell state can now be encoded in the environment, it
+// becomes superfluous for a new instance of es ... to run a configuration
+// file."
+func (i *Interp) ExportEnv() []string {
+	out := make([]string, 0, len(i.vars))
+	for name, slot := range i.vars {
+		if slot.noexport || (slot.value == nil && !slot.lazy) {
+			continue
+		}
+		if strings.ContainsAny(name, "=\000") {
+			continue
+		}
+		if slot.lazy {
+			// Never decoded: re-export the inherited string as-is.
+			out = append(out, name+"="+slot.raw)
+			continue
+		}
+		out = append(out, name+"="+EncodeValue(slot.value))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ImportEnv loads environment strings into the variable table.  Values of
+// fn- and set- variables (and any value in %closure/lambda form) are
+// parsed back into closures; everything else imports as string lists.
+func (i *Interp) ImportEnv(environ []string) {
+	for _, kv := range environ {
+		eq := strings.IndexByte(kv, '=')
+		if eq <= 0 {
+			continue
+		}
+		name, val := kv[:eq], kv[eq+1:]
+		i.vars[name] = &varSlot{raw: val, lazy: true}
+	}
+}
+
+// DecodeValue parses an environment string into a value list.
+func (i *Interp) DecodeValue(name, val string) List {
+	segs := strings.Split(val, listSep)
+	out := make(List, 0, len(segs))
+	code := strings.HasPrefix(name, "fn-") || strings.HasPrefix(name, "set-")
+	for _, seg := range segs {
+		if code || strings.HasPrefix(seg, "%closure(") {
+			if t, ok := i.decodeTerm(seg); ok {
+				out = append(out, t)
+				continue
+			}
+		}
+		out = append(out, Term{Str: seg})
+	}
+	return out
+}
+
+// decodeTerm re-parses one encoded term.
+func (i *Interp) decodeTerm(seg string) (Term, bool) {
+	var env *Binding
+	rest := seg
+	if strings.HasPrefix(seg, "%closure(") {
+		inner, tail, ok := scanClosureHeader(seg[len("%closure("):])
+		if !ok {
+			return Term{}, false
+		}
+		env = i.decodeBindings(inner)
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "@") && !strings.HasPrefix(rest, "{") {
+		if strings.HasPrefix(rest, "$&") {
+			return Term{Prim: rest[2:]}, true
+		}
+		return Term{}, false
+	}
+	blk, err := ParseCommand(rest)
+	if err != nil || len(blk.Cmds) != 1 {
+		return Term{}, false
+	}
+	s, ok := blk.Cmds[0].(*syntax.Simple)
+	if !ok || len(s.Words) != 1 || len(s.Words[0].Parts) != 1 {
+		return Term{}, false
+	}
+	lp, ok := s.Words[0].Parts[0].(*syntax.LambdaPart)
+	if !ok {
+		return Term{}, false
+	}
+	cl := &Closure{
+		Params:    lp.Lambda.Params,
+		HasParams: lp.Lambda.HasParams,
+		Body:      lp.Lambda.Body,
+		Env:       env,
+	}
+	return Term{Closure: cl}, true
+}
+
+// scanClosureHeader splits "a=b;c=d)rest" at the parenthesis matching the
+// %closure(, respecting quotes and nested parens/braces.
+func scanClosureHeader(s string) (inner, rest string, ok bool) {
+	depth := 1
+	for k := 0; k < len(s); k++ {
+		switch s[k] {
+		case '\'':
+			// skip quoted text ('' is an escaped quote)
+			for k++; k < len(s); k++ {
+				if s[k] == '\'' {
+					if k+1 < len(s) && s[k+1] == '\'' {
+						k++
+						continue
+					}
+					break
+				}
+			}
+		case '(', '{':
+			depth++
+		case '}':
+			depth--
+		case ')':
+			depth--
+			if depth == 0 {
+				return s[:k], s[k+1:], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// decodeBindings parses the %closure binding list "a=b;c=d" into an
+// environment chain.
+func (i *Interp) decodeBindings(inner string) *Binding {
+	if strings.TrimSpace(inner) == "" {
+		return nil
+	}
+	blk, err := syntax.Parse("let (" + inner + ") {}")
+	if err != nil {
+		return nil
+	}
+	let, ok := blk.Cmds[0].(*syntax.Let)
+	if !ok {
+		return nil
+	}
+	var env *Binding
+	for _, b := range let.Bindings {
+		name, ok := b.Name.LitText()
+		if !ok {
+			continue
+		}
+		var value List
+		for _, w := range b.Values {
+			value = append(value, i.staticWord(w, env)...)
+		}
+		env = &Binding{Name: name, Value: value, Next: env}
+	}
+	return env
+}
+
+// staticWord evaluates a binding word without running any code: literals
+// and lambdas only (the only things EncodeClosure emits).
+func (i *Interp) staticWord(w *syntax.Word, env *Binding) List {
+	var out List
+	for _, part := range w.Parts {
+		switch part := part.(type) {
+		case *syntax.Lit:
+			out = append(out, Term{Str: part.Text})
+		case *syntax.Prim:
+			out = append(out, Term{Prim: part.Name})
+		case *syntax.LambdaPart:
+			rw := syntax.Rewrite(part.Lambda.Body).(*syntax.Block)
+			out = append(out, Term{Closure: &Closure{
+				Params:    part.Lambda.Params,
+				HasParams: part.Lambda.HasParams,
+				Body:      rw,
+				Env:       env,
+			}})
+		}
+	}
+	// Adjacent literal parts of one word merge.
+	if len(out) > 1 {
+		allStr := true
+		for _, t := range out {
+			if t.Closure != nil || t.Prim != "" {
+				allStr = false
+				break
+			}
+		}
+		if allStr {
+			var b strings.Builder
+			for _, t := range out {
+				b.WriteString(t.Str)
+			}
+			return List{Term{Str: b.String()}}
+		}
+	}
+	return out
+}

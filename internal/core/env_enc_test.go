@@ -1,0 +1,228 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// mkClosure parses a lambda word into a Closure with the given env.
+func mkClosure(t *testing.T, src string, env *Binding) *Closure {
+	t.Helper()
+	i := New()
+	val := i.DecodeValue("fn-x", src)
+	if len(val) != 1 || val[0].Closure == nil {
+		t.Fatalf("mkClosure(%q) = %v", src, val)
+	}
+	cl := val[0].Closure
+	cl.Env = env
+	return cl
+}
+
+func TestEncodeValuePlain(t *testing.T) {
+	if got := EncodeValue(StrList("one")); got != "one" {
+		t.Errorf("single = %q", got)
+	}
+	if got := EncodeValue(StrList("a", "b c", "d")); got != "a\x01b c\x01d" {
+		t.Errorf("list = %q", got)
+	}
+	if got := EncodeValue(List{{Prim: "create"}}); got != "$&create" {
+		t.Errorf("prim = %q", got)
+	}
+}
+
+func TestEncodeClosureNoCaptures(t *testing.T) {
+	cl := mkClosure(t, "@ args {echo -n $args}", nil)
+	if got := EncodeClosure(cl); got != "@ args {echo -n $args}" {
+		t.Errorf("encoded = %q", got)
+	}
+	// A parameterless fragment uses * per the paper's convention.
+	cl2 := mkClosure(t, "{date}", nil)
+	if got := EncodeClosure(cl2); got != "@ * {date}" {
+		t.Errorf("fragment = %q", got)
+	}
+}
+
+func TestEncodeClosureCaptures(t *testing.T) {
+	env := &Binding{Name: "a", Value: StrList("b")}
+	cl := mkClosure(t, "{echo $a}", env)
+	if got := EncodeClosure(cl); got != "%closure(a=b)@ * {echo $a}" {
+		t.Errorf("encoded = %q", got)
+	}
+}
+
+// Only referenced bindings are captured.
+func TestEncodeClosureMinimalCaptures(t *testing.T) {
+	env := &Binding{Name: "used", Value: StrList("u"),
+		Next: &Binding{Name: "unused", Value: StrList("x")}}
+	cl := mkClosure(t, "{echo $used}", env)
+	enc := EncodeClosure(cl)
+	if strings.Contains(enc, "unused") {
+		t.Errorf("unused binding captured: %q", enc)
+	}
+	if !strings.Contains(enc, "used=u") {
+		t.Errorf("used binding missing: %q", enc)
+	}
+}
+
+// A computed variable name forces capturing the whole environment.
+func TestEncodeClosureComputedName(t *testing.T) {
+	env := &Binding{Name: "zeta", Value: StrList("z"),
+		Next: &Binding{Name: "alpha", Value: StrList("a")}}
+	cl := mkClosure(t, "{echo $(prefix-$x)}", env)
+	enc := EncodeClosure(cl)
+	if !strings.Contains(enc, "zeta=z") || !strings.Contains(enc, "alpha=a") {
+		t.Errorf("conservative capture missing: %q", enc)
+	}
+}
+
+// Parameters shadow: a closure does not capture bindings its own
+// parameters hide.
+func TestEncodeClosureShadowing(t *testing.T) {
+	env := &Binding{Name: "x", Value: StrList("outer")}
+	cl := mkClosure(t, "@ x {echo $x}", env)
+	if got := EncodeClosure(cl); strings.Contains(got, "%closure") {
+		t.Errorf("shadowed binding captured: %q", got)
+	}
+	// let inside the body shadows too.
+	cl2 := mkClosure(t, "{let (x = inner) echo $x}", env)
+	if got := EncodeClosure(cl2); strings.Contains(got, "%closure") {
+		t.Errorf("let-shadowed binding captured: %q", got)
+	}
+	// ... but a reference before/outside the let is captured.
+	cl3 := mkClosure(t, "{echo $x; let (x = inner) echo $x}", env)
+	if got := EncodeClosure(cl3); !strings.Contains(got, "x=outer") {
+		t.Errorf("outer reference not captured: %q", got)
+	}
+}
+
+// Multi-word and quoted captured values survive the round trip.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		env  *Binding
+		body string
+	}{
+		{&Binding{Name: "a", Value: StrList("b")}, "{echo $a}"},
+		{&Binding{Name: "words", Value: StrList("x", "y z", "'q'")}, "{echo $words}"},
+		{&Binding{Name: "n", Value: StrList("")}, "{echo $n end}"},
+		{nil, "@ a b {echo $b $a}"},
+	}
+	i := New()
+	for _, c := range cases {
+		cl := mkClosure(t, c.body, c.env)
+		enc := EncodeClosure(cl)
+		dec := i.DecodeValue("fn-t", enc)
+		if len(dec) != 1 || dec[0].Closure == nil {
+			t.Errorf("decode(%q) = %v", enc, dec)
+			continue
+		}
+		re := EncodeClosure(dec[0].Closure)
+		if re != enc {
+			t.Errorf("round trip changed: %q → %q", enc, re)
+		}
+	}
+}
+
+// Nested closures in captured values survive one level.
+func TestEncodeDecodeNestedClosure(t *testing.T) {
+	i := New()
+	inner := mkClosure(t, "{echo inner}", nil)
+	env := &Binding{Name: "f", Value: List{{Closure: inner}}}
+	cl := mkClosure(t, "{$f}", env)
+	enc := EncodeClosure(cl)
+	if !strings.Contains(enc, "f=@ * {echo inner}") {
+		t.Errorf("nested encoding: %q", enc)
+	}
+	dec := i.DecodeValue("fn-t", enc)
+	if len(dec) != 1 || dec[0].Closure == nil {
+		t.Fatalf("decode failed: %v", dec)
+	}
+	fb := dec[0].Closure.Env.Lookup("f")
+	if fb == nil || len(fb.Value) != 1 || fb.Value[0].Closure == nil {
+		t.Fatalf("nested closure lost: %+v", fb)
+	}
+}
+
+func TestDecodeValuePlainStrings(t *testing.T) {
+	i := New()
+	v := i.DecodeValue("anything", "a\x01b\x01c d")
+	if len(v) != 3 || v[2].String() != "c d" {
+		t.Errorf("decoded = %v", v)
+	}
+	// Non-code names do not get parsed even if they look like lambdas.
+	v = i.DecodeValue("PS1", "@ x {rm -rf}")
+	if len(v) != 1 || v[0].Closure != nil {
+		t.Errorf("non-code name parsed as code: %v", v)
+	}
+	// Malformed closures fall back to strings.
+	v = i.DecodeValue("fn-broken", "%closure(a=")
+	if len(v) != 1 || v[0].Closure != nil {
+		t.Errorf("malformed closure should import as string: %v", v)
+	}
+}
+
+func TestScanClosureHeader(t *testing.T) {
+	tests := []struct {
+		in, inner, rest string
+		ok              bool
+	}{
+		{"a=b)@ * {x}", "a=b", "@ * {x}", true},
+		{"a=b;c=d)@ * {x}", "a=b;c=d", "@ * {x}", true},
+		{"a='q)q')@ * {x}", "a='q)q'", "@ * {x}", true},
+		{"a={(nested)})rest", "a={(nested)}", "rest", true},
+		{"a=b", "", "", false},
+	}
+	for _, tt := range tests {
+		inner, rest, ok := scanClosureHeader(tt.in)
+		if ok != tt.ok || inner != tt.inner || rest != tt.rest {
+			t.Errorf("scan(%q) = %q,%q,%v want %q,%q,%v", tt.in, inner, rest, ok, tt.inner, tt.rest, tt.ok)
+		}
+	}
+}
+
+func TestExportEnvFiltering(t *testing.T) {
+	i := New()
+	i.SetVarRaw("visible", StrList("1"))
+	i.SetVarRaw("hidden", StrList("2"))
+	i.SetNoExport("hidden")
+	i.SetVarRaw("bad=name", StrList("3"))
+	env := i.ExportEnv()
+	joined := strings.Join(env, "\n")
+	if !strings.Contains(joined, "visible=1") {
+		t.Errorf("visible missing: %v", env)
+	}
+	if strings.Contains(joined, "hidden") || strings.Contains(joined, "bad=name=") {
+		t.Errorf("filtering failed: %v", env)
+	}
+}
+
+// Export → import is the identity on plain string lists.
+func TestEnvRoundTripProperty(t *testing.T) {
+	f := func(vals []string) bool {
+		for _, v := range vals {
+			if strings.ContainsAny(v, "\x01") {
+				return true // separator collision excluded by design
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		a := New()
+		a.SetVarRaw("v", StrList(vals...))
+		b := New()
+		b.ImportEnv(a.ExportEnv())
+		got := b.Var("v")
+		if len(got) != len(vals) {
+			return false
+		}
+		for k := range vals {
+			if got[k].Str != vals[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

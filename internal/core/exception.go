@@ -1,0 +1,76 @@
+package core
+
+import "strings"
+
+// Exception is the es exception value: a list whose first term names the
+// exception.  Six names are known to the interpreter — error, signal, eof,
+// break, return, retry — but "any set of arguments can be passed to
+// throw".
+//
+// Exceptions travel as Go errors through evaluation; $&catch implements
+// the handler protocol, loops intercept break, and closure application
+// intercepts return.
+type Exception struct {
+	Args List
+}
+
+func (e *Exception) Error() string {
+	if len(e.Args) == 0 {
+		return "exception"
+	}
+	return strings.Join(e.Args.Strings(), " ")
+}
+
+// Name returns the exception's first term as a string ("" if empty).
+func (e *Exception) Name() string {
+	if len(e.Args) == 0 {
+		return ""
+	}
+	return e.Args[0].String()
+}
+
+// Throw builds an exception error from a list.
+func Throw(args List) error {
+	return &Exception{Args: args}
+}
+
+// ErrorExc builds the common `error msg...` exception.
+func ErrorExc(msg ...string) error {
+	return &Exception{Args: append(StrList("error"), StrList(msg...)...)}
+}
+
+// AsException extracts an *Exception from err, or nil.
+func AsException(err error) *Exception {
+	if e, ok := err.(*Exception); ok {
+		return e
+	}
+	return nil
+}
+
+// ExcNamed reports whether err is an exception with the given name.
+func ExcNamed(err error, name string) bool {
+	e := AsException(err)
+	return e != nil && e.Name() == name
+}
+
+// ReturnValue extracts the value carried by a return exception; ok
+// reports whether err was one.
+func ReturnValue(err error) (List, bool) {
+	e := AsException(err)
+	if e == nil || e.Name() != "return" {
+		return nil, false
+	}
+	return e.Args[1:], true
+}
+
+// tailCall is the trampoline token: a closure application about to happen
+// in tail position.  It unwinds the Go stack to the nearest apply loop,
+// which continues with the new closure and arguments.  It is not an
+// exception — contexts that must regain control (catch, local, loops,
+// substitutions) simply never evaluate their bodies in tail position.
+type tailCall struct {
+	cl   *Closure
+	args List
+}
+
+func (t *tailCall) Error() string { return "internal: unhandled tail call" }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"es/internal/proc"
+)
+
+// runBuiltin executes one of the hermetic utility commands with flattened
+// arguments; its exit status becomes the result list.
+func (i *Interp) runBuiltin(ctx *Ctx, fn BuiltinFunc, name string, args List) (List, error) {
+	argv := append([]string{name}, args.Strings()...)
+	status := fn(i, ctx, argv)
+	return StrList(strconv.Itoa(status)), nil
+}
+
+// runExternal resolves name — through the (spoofable) %pathsearch hook
+// when it is not already a path — and executes it as a real process.
+func (i *Interp) runExternal(ctx *Ctx, env *Binding, name string, args List) (List, error) {
+	file := name
+	if !strings.ContainsRune(name, '/') {
+		found, err := i.CallHook(ctx.NonTail(), "%pathsearch", StrList(name))
+		if err != nil {
+			return nil, err
+		}
+		if len(found) == 0 {
+			return nil, ErrorExc(name + ": not found")
+		}
+		// A pathsearch hook may return a closure (e.g. an autoloader).
+		if found[0].Closure != nil || found[0].Prim != "" {
+			rest := append(append(List{}, found[1:]...), args...)
+			return i.applyTerm(ctx.NonTail(), env, found[0], rest)
+		}
+		file = found[0].Str
+	}
+	return i.ExecFile(ctx, file, name, args)
+}
+
+// ExecFile runs the program at file with argv[0] = name.
+func (i *Interp) ExecFile(ctx *Ctx, file, name string, args List) (List, error) {
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(i.dir, file)
+	}
+	files := make(proc.Files)
+	var cleanups []func()
+	// Descriptors sharing one stream entry (e.g. stdout and stderr both
+	// bound to the same buffer) share one bridge: bridging them twice
+	// would write the same sink from two goroutines.
+	bridged := make(map[interface{}]*os.File)
+	for _, fd := range ctx.IO.Fds() {
+		entry := ctx.IO.Get(fd)
+		if f, ok := bridged[entry]; ok && fd != 0 {
+			files[fd] = f
+			continue
+		}
+		f, done, err := ctx.IO.File(fd, fd == 0)
+		if err != nil {
+			for _, c := range cleanups {
+				c()
+			}
+			return nil, ErrorExc(err.Error())
+		}
+		if done != nil {
+			cleanups = append(cleanups, done)
+		}
+		if fd != 0 && entry != nil {
+			bridged[entry] = f
+		}
+		files[fd] = f
+	}
+	argv := append([]string{name}, args.Strings()...)
+	status, err := proc.Run(file, argv, i.dir, i.ExportEnv(), files)
+	for _, c := range cleanups {
+		c()
+	}
+	if err != nil {
+		return nil, ErrorExc(name + ": " + err.Error())
+	}
+	return StrList(status), nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"io"
+	"os"
+)
+
+// IOTable maps shell file descriptors to Go streams.  Entries are
+// io.Reader or io.Writer values; *os.File entries can be handed to
+// external processes directly, anything else goes through a pipe.
+//
+// Tables are persistent: WithFD returns a copy, so redirections scope to
+// the command they wrap, exactly like the nested %create/%open calls the
+// rewriter produces.
+type IOTable struct {
+	m map[int]interface{}
+}
+
+// NewIOTable builds a table with the standard descriptors.
+func NewIOTable(stdin io.Reader, stdout, stderr io.Writer) *IOTable {
+	return &IOTable{m: map[int]interface{}{0: stdin, 1: stdout, 2: stderr}}
+}
+
+// WithFD returns a copy of the table with fd bound to stream (nil closes
+// the descriptor).
+func (t *IOTable) WithFD(fd int, stream interface{}) *IOTable {
+	m := make(map[int]interface{}, len(t.m)+1)
+	for k, v := range t.m {
+		m[k] = v
+	}
+	if stream == nil {
+		delete(m, fd)
+	} else {
+		m[fd] = stream
+	}
+	return &IOTable{m: m}
+}
+
+// Get returns the raw entry for fd.
+func (t *IOTable) Get(fd int) interface{} { return t.m[fd] }
+
+// Fds returns the bound descriptor numbers.
+func (t *IOTable) Fds() []int {
+	out := make([]int, 0, len(t.m))
+	for fd := range t.m {
+		out = append(out, fd)
+	}
+	return out
+}
+
+// Reader returns the input stream on fd (a reader of nothing if unbound).
+func (t *IOTable) Reader(fd int) io.Reader {
+	if r, ok := t.m[fd].(io.Reader); ok {
+		return r
+	}
+	return emptyReader{}
+}
+
+// Writer returns the output stream on fd (a discarding writer if unbound).
+func (t *IOTable) Writer(fd int) io.Writer {
+	if w, ok := t.m[fd].(io.Writer); ok {
+		return w
+	}
+	return io.Discard
+}
+
+// File materializes fd as an *os.File for handing to an external process.
+// If the entry is already a file it is returned with done == nil.
+// Otherwise a pipe is created and a copier goroutine bridges it; call
+// done() after the process exits to flush and reap the copier.
+func (t *IOTable) File(fd int, input bool) (f *os.File, done func(), err error) {
+	entry := t.m[fd]
+	if file, ok := entry.(*os.File); ok {
+		return file, nil, nil
+	}
+	if entry == nil {
+		// Unbound: give the process the null device.
+		null, err := os.OpenFile(os.DevNull, os.O_RDWR, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		return null, func() { null.Close() }, nil
+	}
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		return nil, nil, err
+	}
+	ch := make(chan struct{})
+	if input {
+		r := entry.(io.Reader)
+		go func() {
+			defer close(ch)
+			defer pw.Close()
+			io.Copy(pw, r)
+		}()
+		return pr, func() { pr.Close(); <-ch }, nil
+	}
+	w := entry.(io.Writer)
+	go func() {
+		defer close(ch)
+		io.Copy(w, pr)
+		pr.Close()
+	}()
+	return pw, func() { pw.Close(); <-ch }, nil
+}
+
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// Ctx carries the per-command evaluation context: the descriptor table and
+// the tail-position flag used by the trampoline.
+type Ctx struct {
+	IO   *IOTable
+	Tail bool
+}
+
+// NonTail returns a context with tail-calling disabled; any frame that
+// must regain control after a sub-evaluation (catch, loops, substitutions,
+// dynamic binding) evaluates through it.
+func (c *Ctx) NonTail() *Ctx {
+	if !c.Tail {
+		return c
+	}
+	return &Ctx{IO: c.IO}
+}
+
+// InTail returns a context marked as tail position.
+func (c *Ctx) InTail() *Ctx {
+	if c.Tail {
+		return c
+	}
+	return &Ctx{IO: c.IO, Tail: true}
+}
+
+// WithIO returns a context using a different descriptor table.
+func (c *Ctx) WithIO(t *IOTable) *Ctx {
+	return &Ctx{IO: t, Tail: c.Tail}
+}
+
+// Stdin, Stdout and Stderr are convenience accessors.
+func (c *Ctx) Stdin() io.Reader  { return c.IO.Reader(0) }
+func (c *Ctx) Stdout() io.Writer { return c.IO.Writer(1) }
+func (c *Ctx) Stderr() io.Writer { return c.IO.Writer(2) }

@@ -1,0 +1,76 @@
+package core
+
+// Background job bookkeeping for %background, wait and apids.  The table
+// is shared with forked children so a subshell can wait for jobs started
+// by its parent frame, mirroring the process-group behaviour of the C
+// implementation.
+
+// StartJob runs fn in a new goroutine and returns the job id (the es
+// analogue of the child pid printed by &).
+func (i *Interp) StartJob(fn func() List) int {
+	i.jobs.mu.Lock()
+	i.jobs.next++
+	j := &job{id: i.jobs.next, done: make(chan struct{})}
+	i.jobs.jobs[j.id] = j
+	i.jobs.mu.Unlock()
+	go func() {
+		j.res = fn()
+		close(j.done)
+	}()
+	return j.id
+}
+
+// WaitJob blocks until job id finishes and returns its result; ok is
+// false for an unknown id.  The job is reaped.
+func (i *Interp) WaitJob(id int) (List, bool) {
+	i.jobs.mu.Lock()
+	j, ok := i.jobs.jobs[id]
+	if ok {
+		delete(i.jobs.jobs, id)
+	}
+	i.jobs.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	<-j.done
+	return j.res, true
+}
+
+// WaitAny blocks until some job finishes; it returns the job's id and
+// result, or ok=false when no jobs exist.
+func (i *Interp) WaitAny() (int, List, bool) {
+	i.jobs.mu.Lock()
+	var ids []int
+	for id := range i.jobs.jobs {
+		ids = append(ids, id)
+	}
+	i.jobs.mu.Unlock()
+	if len(ids) == 0 {
+		return 0, nil, false
+	}
+	// Wait for the lowest id for determinism.
+	min := ids[0]
+	for _, id := range ids {
+		if id < min {
+			min = id
+		}
+	}
+	res, _ := i.WaitJob(min)
+	return min, res, true
+}
+
+// JobIDs returns the live background job ids (unwaited), sorted ascending.
+func (i *Interp) JobIDs() []int {
+	i.jobs.mu.Lock()
+	defer i.jobs.mu.Unlock()
+	out := make([]int, 0, len(i.jobs.jobs))
+	for id := range i.jobs.jobs {
+		out = append(out, id)
+	}
+	for a := 1; a < len(out); a++ {
+		for b := a; b > 0 && out[b] < out[b-1]; b-- {
+			out[b], out[b-1] = out[b-1], out[b]
+		}
+	}
+	return out
+}

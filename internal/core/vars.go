@@ -1,0 +1,132 @@
+package core
+
+import "sort"
+
+// varSlot holds one global (dynamic) variable.  Values imported from the
+// environment stay as raw strings until first use: parsing every
+// inherited function definition at startup would defeat the paper's
+// "shell startup becomes very quick", so — like the C implementation —
+// decoding is lazy.
+type varSlot struct {
+	value    List
+	raw      string // undecoded environment string (valid while lazy)
+	lazy     bool
+	noexport bool
+}
+
+// Var returns the value of the global variable name (nil if unset).
+func (i *Interp) Var(name string) List {
+	s, ok := i.vars[name]
+	if !ok {
+		return nil
+	}
+	if s.lazy {
+		s.value = i.DecodeValue(name, s.raw)
+		s.lazy = false
+	}
+	return s.value
+}
+
+// Defined reports whether a global variable exists (even with a nil value).
+func (i *Interp) Defined(name string) bool {
+	_, ok := i.vars[name]
+	return ok
+}
+
+// VarNames returns the defined global variable names, sorted.
+func (i *Interp) VarNames() []string {
+	names := make([]string, 0, len(i.vars))
+	for n := range i.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetVarRaw sets a global variable without running settors (used for
+// settor re-entry, environment import, and dynamic-binding restores when
+// the caller wants raw behaviour).
+func (i *Interp) SetVarRaw(name string, value List) {
+	if value == nil {
+		delete(i.vars, name)
+		return
+	}
+	if s, ok := i.vars[name]; ok {
+		s.value, s.lazy, s.raw = value, false, ""
+		return
+	}
+	i.vars[name] = &varSlot{value: value}
+}
+
+// SetNoExport marks a variable as excluded from the environment.
+func (i *Interp) SetNoExport(name string) {
+	if s, ok := i.vars[name]; ok {
+		s.noexport = true
+	} else {
+		i.vars[name] = &varSlot{noexport: true}
+	}
+}
+
+// SetVar assigns a global variable, running its settor if one is defined:
+// "A settor variable set-foo is a variable which gets evaluated every time
+// the variable foo changes value", and the value it returns is what is
+// stored.
+func (i *Interp) SetVar(ctx *Ctx, name string, value List) error {
+	if settor := i.settorFor(name); settor != nil {
+		res, err := i.Apply(ctx.NonTail(), settor, value)
+		if err != nil {
+			return err
+		}
+		value = res
+	}
+	// Assigning the empty list removes the variable; assigning () keeps
+	// an empty variable.  We follow the simpler rc rule: x = (no values)
+	// leaves x defined but null; only explicit unset (SetVarRaw nil)
+	// deletes.  Null and undefined are indistinguishable to $#.
+	if s, ok := i.vars[name]; ok {
+		s.value, s.lazy, s.raw = value, false, ""
+	} else {
+		i.vars[name] = &varSlot{value: value}
+	}
+	return nil
+}
+
+// settorFor returns the closure to run when assigning name, or nil.
+// A settor must itself be a single closure; empty or string-valued
+// set-vars are ignored (the paper's recursion guard works by dynamically
+// binding the cousin settor to the empty list).
+func (i *Interp) settorFor(name string) *Closure {
+	v := i.Var("set-" + name)
+	if len(v) != 1 || v[0].Closure == nil {
+		return nil
+	}
+	return v[0].Closure
+}
+
+// lookupVar resolves $name: lexical environment first, then globals.
+func lookupVar(i *Interp, env *Binding, name string) List {
+	if b := env.Lookup(name); b != nil {
+		return b.Value
+	}
+	return i.Var(name)
+}
+
+// assignVar implements name = value: if name is lexically bound the
+// binding mutates in place (and no settor runs); otherwise the global is
+// assigned through SetVar.
+func (i *Interp) assignVar(ctx *Ctx, env *Binding, name string, value List) error {
+	if b := env.Lookup(name); b != nil {
+		b.Value = value
+		return nil
+	}
+	return i.SetVar(ctx, name, value)
+}
+
+// ifs returns the field separator characters used by backquote splitting.
+func (i *Interp) ifs(env *Binding) string {
+	v := lookupVar(i, env, "ifs")
+	if v == nil {
+		return " \t\n"
+	}
+	return v.Flatten("")
+}

@@ -1,0 +1,112 @@
+// Package coreutils provides hermetic, in-process implementations of the
+// Unix text tools the paper's examples rely on (Figure 1's word-frequency
+// pipeline, test(1) in the noclobber spoof, date(1), and friends).
+//
+// They are registered as builtins: command dispatch finds them after fn-
+// definitions and before $PATH, so the paper's transcripts reproduce
+// byte-for-byte on a machine with no userland at all.  Each implements the
+// commonly used subset of its flags; unsupported usage reports an error
+// and a non-zero status rather than guessing.
+package coreutils
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"es/internal/core"
+)
+
+// Register installs the full builtin set.
+func Register(i *core.Interp) {
+	registerText(i)
+	registerFs(i)
+	registerMisc(i)
+}
+
+// Names returns the registered command names (for tests and docs).
+func Names() []string {
+	return []string{
+		"basename", "cat", "cmp", "cut", "date", "dirname", "env", "false",
+		"grep", "head", "ls", "mkdir", "nl", "pwd", "rev", "rm", "seq",
+		"sed", "sleep", "sort", "tac", "tail", "tee", "test", "touch",
+		"tr", "true", "uniq", "wc", "xargs", "yes",
+	}
+}
+
+// ctxio bundles the common per-invocation state.
+type ctxio struct {
+	i    *core.Interp
+	in   io.Reader
+	out  *bufio.Writer
+	errw io.Writer
+	name string
+}
+
+// wrap adapts a simpler function shape to core.BuiltinFunc, handling
+// output buffering and error reporting uniformly.
+func wrap(name string, fn func(c *ctxio, args []string) int) core.BuiltinFunc {
+	return func(i *core.Interp, ctx *core.Ctx, argv []string) int {
+		c := &ctxio{
+			i:    i,
+			in:   ctx.Stdin(),
+			out:  bufio.NewWriter(ctx.Stdout()),
+			errw: ctx.Stderr(),
+			name: name,
+		}
+		status := fn(c, argv[1:])
+		c.out.Flush()
+		return status
+	}
+}
+
+// errorf reports a diagnostic and returns failure.
+func (c *ctxio) errorf(format string, args ...interface{}) int {
+	fmt.Fprintf(c.errw, c.name+": "+format+"\n", args...)
+	return 1
+}
+
+// resolve makes a path absolute relative to the shell's working directory.
+func (c *ctxio) resolve(path string) string {
+	if filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(c.i.Dir(), path)
+}
+
+// inputs opens the file operands (or stdin when none / "-"), calling fn
+// for each reader in order.  Returns non-zero if any file fails to open.
+func (c *ctxio) inputs(files []string, fn func(r io.Reader) int) int {
+	if len(files) == 0 {
+		return fn(c.in)
+	}
+	status := 0
+	for _, f := range files {
+		if f == "-" {
+			if s := fn(c.in); s != 0 {
+				status = s
+			}
+			continue
+		}
+		r, err := openFile(c, f)
+		if err != nil {
+			status = c.errorf("%s: %v", f, err)
+			continue
+		}
+		if s := fn(r); s != 0 {
+			status = s
+		}
+		r.Close()
+	}
+	return status
+}
+
+// eachLine feeds every input line (without newline) to fn.
+func eachLine(r io.Reader, fn func(line string)) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		fn(sc.Text())
+	}
+}

@@ -1,0 +1,334 @@
+package coreutils
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"es/internal/core"
+)
+
+func registerFs(i *core.Interp) {
+	i.RegisterBuiltin("ls", wrap("ls", builtinLs))
+	i.RegisterBuiltin("test", wrap("test", builtinTest))
+	i.RegisterBuiltin("[", wrap("[", builtinTestBracket))
+	i.RegisterBuiltin("mkdir", wrap("mkdir", builtinMkdir))
+	i.RegisterBuiltin("rm", wrap("rm", builtinRm))
+	i.RegisterBuiltin("touch", wrap("touch", builtinTouch))
+	i.RegisterBuiltin("pwd", wrap("pwd", builtinPwd))
+	i.RegisterBuiltin("basename", wrap("basename", builtinBasename))
+	i.RegisterBuiltin("dirname", wrap("dirname", builtinDirname))
+	i.RegisterBuiltin("cp", wrap("cp", builtinCp))
+	i.RegisterBuiltin("mv", wrap("mv", builtinMv))
+}
+
+func builtinLs(c *ctxio, args []string) int {
+	long, all := false, false
+	var paths []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") && len(a) > 1 {
+			for _, f := range a[1:] {
+				switch f {
+				case 'l':
+					long = true
+				case 'a':
+					all = true
+				case '1':
+					// one per line is already the default
+				default:
+					return c.errorf("unsupported flag -%c", f)
+				}
+			}
+		} else {
+			paths = append(paths, a)
+		}
+	}
+	if len(paths) == 0 {
+		paths = []string{"."}
+	}
+	status := 0
+	printEntry := func(name string, fi os.FileInfo) {
+		if long && fi != nil {
+			fmt.Fprintf(c.out, "%s %8d %s\n", fi.Mode(), fi.Size(), name)
+		} else {
+			c.out.WriteString(name)
+			c.out.WriteByte('\n')
+		}
+	}
+	for _, p := range paths {
+		full := c.resolve(p)
+		fi, err := os.Stat(full)
+		if err != nil {
+			status = c.errorf("%s: No such file or directory", p)
+			continue
+		}
+		if !fi.IsDir() {
+			printEntry(p, fi)
+			continue
+		}
+		entries, err := os.ReadDir(full)
+		if err != nil {
+			status = c.errorf("%s: %v", p, err)
+			continue
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			if !all && strings.HasPrefix(e.Name(), ".") {
+				continue
+			}
+			names = append(names, e.Name())
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			var info os.FileInfo
+			if long {
+				info, _ = os.Stat(filepath.Join(full, n))
+			}
+			printEntry(n, info)
+		}
+	}
+	return status
+}
+
+func builtinTestBracket(c *ctxio, args []string) int {
+	if len(args) == 0 || args[len(args)-1] != "]" {
+		return c.errorf("missing ']'")
+	}
+	return builtinTest(c, args[:len(args)-1])
+}
+
+// builtinTest implements the test(1) subset used by shell scripts (and
+// the paper's noclobber %create spoof: test -f file).
+func builtinTest(c *ctxio, args []string) int {
+	ok, err := evalTest(c, args)
+	if err != "" {
+		return c.errorf("%s", err)
+	}
+	if ok {
+		return 0
+	}
+	return 1
+}
+
+func evalTest(c *ctxio, args []string) (bool, string) {
+	switch len(args) {
+	case 0:
+		return false, ""
+	case 1:
+		return args[0] != "", ""
+	case 2:
+		path := c.resolve(args[1])
+		fi, statErr := os.Stat(path)
+		switch args[0] {
+		case "!":
+			ok, err := evalTest(c, args[1:])
+			return !ok, err
+		case "-e":
+			return statErr == nil, ""
+		case "-f":
+			return statErr == nil && fi.Mode().IsRegular(), ""
+		case "-d":
+			return statErr == nil && fi.IsDir(), ""
+		case "-x":
+			return statErr == nil && fi.Mode()&0o111 != 0, ""
+		case "-s":
+			return statErr == nil && fi.Size() > 0, ""
+		case "-r":
+			f, err := os.Open(path)
+			if err == nil {
+				f.Close()
+			}
+			return err == nil, ""
+		case "-w":
+			f, err := os.OpenFile(path, os.O_WRONLY, 0)
+			if err == nil {
+				f.Close()
+			}
+			return err == nil, ""
+		case "-n":
+			return args[1] != "", ""
+		case "-z":
+			return args[1] == "", ""
+		}
+		return false, "unsupported unary operator " + args[0]
+	case 3:
+		a, op, b := args[0], args[1], args[2]
+		switch op {
+		case "=", "==":
+			return a == b, ""
+		case "!=":
+			return a != b, ""
+		case "-eq", "-ne", "-lt", "-le", "-gt", "-ge":
+			na, err1 := atoiStrict(a)
+			nb, err2 := atoiStrict(b)
+			if err1 != nil || err2 != nil {
+				return false, "integer expression expected"
+			}
+			switch op {
+			case "-eq":
+				return na == nb, ""
+			case "-ne":
+				return na != nb, ""
+			case "-lt":
+				return na < nb, ""
+			case "-le":
+				return na <= nb, ""
+			case "-gt":
+				return na > nb, ""
+			case "-ge":
+				return na >= nb, ""
+			}
+		}
+		return false, "unsupported operator " + op
+	default:
+		if args[0] == "!" {
+			ok, err := evalTest(c, args[1:])
+			return !ok, err
+		}
+		return false, "too many arguments"
+	}
+}
+
+func atoiStrict(s string) (int, error) {
+	var n int
+	_, err := fmt.Sscanf(s, "%d", &n)
+	return n, err
+}
+
+func builtinMkdir(c *ctxio, args []string) int {
+	parents := false
+	var dirs []string
+	for _, a := range args {
+		if a == "-p" {
+			parents = true
+		} else {
+			dirs = append(dirs, a)
+		}
+	}
+	if len(dirs) == 0 {
+		return c.errorf("missing operand")
+	}
+	status := 0
+	for _, d := range dirs {
+		var err error
+		if parents {
+			err = os.MkdirAll(c.resolve(d), 0o777)
+		} else {
+			err = os.Mkdir(c.resolve(d), 0o777)
+		}
+		if err != nil {
+			status = c.errorf("%s: %v", d, err)
+		}
+	}
+	return status
+}
+
+func builtinRm(c *ctxio, args []string) int {
+	force, recursive := false, false
+	var paths []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") && len(a) > 1 {
+			for _, f := range a[1:] {
+				switch f {
+				case 'f':
+					force = true
+				case 'r', 'R':
+					recursive = true
+				default:
+					return c.errorf("unsupported flag -%c", f)
+				}
+			}
+		} else {
+			paths = append(paths, a)
+		}
+	}
+	status := 0
+	for _, p := range paths {
+		full := c.resolve(p)
+		var err error
+		if recursive {
+			err = os.RemoveAll(full)
+		} else {
+			err = os.Remove(full)
+		}
+		if err != nil && !force {
+			status = c.errorf("%s: %v", p, err)
+		}
+	}
+	return status
+}
+
+func builtinTouch(c *ctxio, args []string) int {
+	status := 0
+	for _, p := range args {
+		f, err := os.OpenFile(c.resolve(p), os.O_WRONLY|os.O_CREATE, 0o666)
+		if err != nil {
+			status = c.errorf("%s: %v", p, err)
+			continue
+		}
+		f.Close()
+	}
+	return status
+}
+
+func builtinPwd(c *ctxio, args []string) int {
+	c.out.WriteString(c.i.Dir())
+	c.out.WriteByte('\n')
+	return 0
+}
+
+func builtinBasename(c *ctxio, args []string) int {
+	if len(args) == 0 {
+		return c.errorf("missing operand")
+	}
+	b := filepath.Base(args[0])
+	if len(args) > 1 {
+		b = strings.TrimSuffix(b, args[1])
+	}
+	c.out.WriteString(b)
+	c.out.WriteByte('\n')
+	return 0
+}
+
+func builtinDirname(c *ctxio, args []string) int {
+	if len(args) == 0 {
+		return c.errorf("missing operand")
+	}
+	c.out.WriteString(filepath.Dir(args[0]))
+	c.out.WriteByte('\n')
+	return 0
+}
+
+func builtinCp(c *ctxio, args []string) int {
+	if len(args) != 2 {
+		return c.errorf("usage: cp src dst")
+	}
+	data, err := os.ReadFile(c.resolve(args[0]))
+	if err != nil {
+		return c.errorf("%v", err)
+	}
+	dst := c.resolve(args[1])
+	if fi, err := os.Stat(dst); err == nil && fi.IsDir() {
+		dst = filepath.Join(dst, filepath.Base(args[0]))
+	}
+	if err := os.WriteFile(dst, data, 0o666); err != nil {
+		return c.errorf("%v", err)
+	}
+	return 0
+}
+
+func builtinMv(c *ctxio, args []string) int {
+	if len(args) != 2 {
+		return c.errorf("usage: mv src dst")
+	}
+	dst := c.resolve(args[1])
+	if fi, err := os.Stat(dst); err == nil && fi.IsDir() {
+		dst = filepath.Join(dst, filepath.Base(args[0]))
+	}
+	if err := os.Rename(c.resolve(args[0]), dst); err != nil {
+		return c.errorf("%v", err)
+	}
+	return 0
+}

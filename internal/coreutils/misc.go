@@ -1,0 +1,273 @@
+package coreutils
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"es/internal/core"
+)
+
+func registerMisc(i *core.Interp) {
+	i.RegisterBuiltin("true", wrap("true", func(c *ctxio, args []string) int { return 0 }))
+	i.RegisterBuiltin("false", wrap("false", func(c *ctxio, args []string) int { return 1 }))
+	i.RegisterBuiltin("seq", wrap("seq", builtinSeq))
+	i.RegisterBuiltin("date", wrap("date", builtinDate))
+	i.RegisterBuiltin("sleep", wrap("sleep", builtinSleep))
+	i.RegisterBuiltin("env", wrap("env", builtinEnv))
+	i.RegisterBuiltin("yes", wrap("yes", builtinYes))
+	i.RegisterBuiltin("xargs", builtinXargs)
+	i.RegisterBuiltin("expr", wrap("expr", builtinExpr))
+	i.RegisterBuiltin("printf", wrap("printf", builtinPrintf))
+}
+
+func builtinSeq(c *ctxio, args []string) int {
+	lo, hi, step := 1, 1, 1
+	var err error
+	switch len(args) {
+	case 1:
+		hi, err = strconv.Atoi(args[0])
+	case 2:
+		lo, err = strconv.Atoi(args[0])
+		if err == nil {
+			hi, err = strconv.Atoi(args[1])
+		}
+	case 3:
+		lo, err = strconv.Atoi(args[0])
+		if err == nil {
+			step, err = strconv.Atoi(args[1])
+		}
+		if err == nil {
+			hi, err = strconv.Atoi(args[2])
+		}
+	default:
+		return c.errorf("usage: seq [first [step]] last")
+	}
+	if err != nil || step == 0 {
+		return c.errorf("bad arguments")
+	}
+	for n := lo; (step > 0 && n <= hi) || (step < 0 && n >= hi); n += step {
+		fmt.Fprintf(c.out, "%d\n", n)
+	}
+	return 0
+}
+
+// builtinDate supports +FORMAT with the strftime directives shell scripts
+// use; the paper's example is date +%y-%m-%d.
+func builtinDate(c *ctxio, args []string) int {
+	now := time.Now()
+	if len(args) == 0 {
+		c.out.WriteString(now.Format("Mon Jan  2 15:04:05 MST 2006"))
+		c.out.WriteByte('\n')
+		return 0
+	}
+	if !strings.HasPrefix(args[0], "+") {
+		return c.errorf("usage: date [+format]")
+	}
+	spec := args[0][1:]
+	var b strings.Builder
+	for k := 0; k < len(spec); k++ {
+		if spec[k] != '%' || k+1 >= len(spec) {
+			b.WriteByte(spec[k])
+			continue
+		}
+		k++
+		switch spec[k] {
+		case 'y':
+			b.WriteString(now.Format("06"))
+		case 'Y':
+			b.WriteString(now.Format("2006"))
+		case 'm':
+			b.WriteString(now.Format("01"))
+		case 'd':
+			b.WriteString(now.Format("02"))
+		case 'H':
+			b.WriteString(now.Format("15"))
+		case 'M':
+			b.WriteString(now.Format("04"))
+		case 'S':
+			b.WriteString(now.Format("05"))
+		case 's':
+			fmt.Fprintf(&b, "%d", now.Unix())
+		case '%':
+			b.WriteByte('%')
+		default:
+			return c.errorf("unsupported directive %%%c", spec[k])
+		}
+	}
+	c.out.WriteString(b.String())
+	c.out.WriteByte('\n')
+	return 0
+}
+
+func builtinSleep(c *ctxio, args []string) int {
+	if len(args) == 0 {
+		return c.errorf("missing operand")
+	}
+	secs, err := strconv.ParseFloat(args[0], 64)
+	if err != nil {
+		return c.errorf("bad interval %s", args[0])
+	}
+	time.Sleep(time.Duration(secs * float64(time.Second)))
+	return 0
+}
+
+func builtinEnv(c *ctxio, args []string) int {
+	for _, kv := range c.i.ExportEnv() {
+		c.out.WriteString(kv)
+		c.out.WriteByte('\n')
+	}
+	return 0
+}
+
+func builtinYes(c *ctxio, args []string) int {
+	word := "y"
+	if len(args) > 0 {
+		word = strings.Join(args, " ")
+	}
+	// Bounded: an infinite yes would hang hermetic tests; emit a large
+	// finite stream (callers pipe into head anyway).
+	for k := 0; k < 1<<20; k++ {
+		if _, err := c.out.WriteString(word + "\n"); err != nil {
+			return 0
+		}
+	}
+	return 0
+}
+
+// builtinXargs reads whitespace-separated words from standard input and
+// runs the given command once with all of them appended.
+func builtinXargs(i *core.Interp, ctx *core.Ctx, argv []string) int {
+	data, err := io.ReadAll(ctx.Stdin())
+	if err != nil {
+		fmt.Fprintf(ctx.Stderr(), "xargs: %v\n", err)
+		return 1
+	}
+	words := strings.Fields(string(data))
+	cmd := argv[1:]
+	if len(cmd) == 0 {
+		cmd = []string{"echo"}
+	}
+	all := append(append([]string{}, cmd[1:]...), words...)
+	res, aerr := i.ApplyTerm(ctx.NonTail(), core.StrTerm(cmd[0]), core.StrList(all...))
+	if aerr != nil {
+		fmt.Fprintf(ctx.Stderr(), "xargs: %v\n", aerr)
+		return 1
+	}
+	if res.True() {
+		return 0
+	}
+	return 1
+}
+
+// builtinExpr supports simple integer arithmetic and comparison:
+// expr a OP b with + - '*' / % < <= = != >= >.
+func builtinExpr(c *ctxio, args []string) int {
+	if len(args) != 3 {
+		return c.errorf("usage: expr a op b")
+	}
+	a, err1 := strconv.Atoi(args[0])
+	b, err2 := strconv.Atoi(args[2])
+	if err1 != nil || err2 != nil {
+		return c.errorf("non-numeric argument")
+	}
+	switch args[1] {
+	case "+":
+		fmt.Fprintf(c.out, "%d\n", a+b)
+	case "-":
+		fmt.Fprintf(c.out, "%d\n", a-b)
+	case "*":
+		fmt.Fprintf(c.out, "%d\n", a*b)
+	case "/":
+		if b == 0 {
+			return c.errorf("division by zero")
+		}
+		fmt.Fprintf(c.out, "%d\n", a/b)
+	case "%":
+		if b == 0 {
+			return c.errorf("division by zero")
+		}
+		fmt.Fprintf(c.out, "%d\n", a%b)
+	case "<", "<=", "=", "!=", ">=", ">":
+		ok := false
+		switch args[1] {
+		case "<":
+			ok = a < b
+		case "<=":
+			ok = a <= b
+		case "=":
+			ok = a == b
+		case "!=":
+			ok = a != b
+		case ">=":
+			ok = a >= b
+		case ">":
+			ok = a > b
+		}
+		if ok {
+			fmt.Fprintln(c.out, "1")
+			return 0
+		}
+		fmt.Fprintln(c.out, "0")
+		return 1
+	default:
+		return c.errorf("unsupported operator %s", args[1])
+	}
+	if args[1] == "-" && a-b == 0 || args[1] == "+" && a+b == 0 {
+		return 1 // expr exits 1 when the result is zero
+	}
+	return 0
+}
+
+func builtinPrintf(c *ctxio, args []string) int {
+	if len(args) == 0 {
+		return c.errorf("missing format")
+	}
+	format := args[0]
+	operands := args[1:]
+	k := 0
+	next := func() string {
+		if k < len(operands) {
+			k++
+			return operands[k-1]
+		}
+		return ""
+	}
+	var b strings.Builder
+	for j := 0; j < len(format); j++ {
+		ch := format[j]
+		switch {
+		case ch == '\\' && j+1 < len(format):
+			j++
+			switch format[j] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte(format[j])
+			}
+		case ch == '%' && j+1 < len(format):
+			j++
+			switch format[j] {
+			case 's':
+				b.WriteString(next())
+			case 'd':
+				n, _ := strconv.Atoi(next())
+				fmt.Fprintf(&b, "%d", n)
+			case '%':
+				b.WriteByte('%')
+			default:
+				return c.errorf("unsupported directive %%%c", format[j])
+			}
+		default:
+			b.WriteByte(ch)
+		}
+	}
+	c.out.WriteString(b.String())
+	return 0
+}

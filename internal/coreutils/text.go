@@ -1,0 +1,713 @@
+package coreutils
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"es/internal/core"
+)
+
+func registerText(i *core.Interp) {
+	i.RegisterBuiltin("cat", wrap("cat", builtinCat))
+	i.RegisterBuiltin("tr", wrap("tr", builtinTr))
+	i.RegisterBuiltin("sort", wrap("sort", builtinSort))
+	i.RegisterBuiltin("uniq", wrap("uniq", builtinUniq))
+	i.RegisterBuiltin("sed", wrap("sed", builtinSed))
+	i.RegisterBuiltin("grep", wrap("grep", builtinGrep))
+	i.RegisterBuiltin("head", wrap("head", builtinHead))
+	i.RegisterBuiltin("tail", wrap("tail", builtinTail))
+	i.RegisterBuiltin("wc", wrap("wc", builtinWc))
+	i.RegisterBuiltin("tee", wrap("tee", builtinTee))
+	i.RegisterBuiltin("cut", wrap("cut", builtinCut))
+	i.RegisterBuiltin("rev", wrap("rev", builtinRev))
+	i.RegisterBuiltin("tac", wrap("tac", builtinTac))
+	i.RegisterBuiltin("nl", wrap("nl", builtinNl))
+	i.RegisterBuiltin("cmp", wrap("cmp", builtinCmp))
+}
+
+func openFile(c *ctxio, name string) (*os.File, error) {
+	return os.Open(c.resolve(name))
+}
+
+func builtinCat(c *ctxio, args []string) int {
+	return c.inputs(args, func(r io.Reader) int {
+		if _, err := io.Copy(c.out, r); err != nil {
+			return c.errorf("%v", err)
+		}
+		return 0
+	})
+}
+
+// builtinTr supports the paper's usage: tr [-cs] set1 [set2], with
+// character classes a-z ranges and backslash escapes (\012 octal, \n, \t).
+func builtinTr(c *ctxio, args []string) int {
+	complement, squeeze, del := false, false, false
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") && len(args[0]) > 1 {
+		for _, f := range args[0][1:] {
+			switch f {
+			case 'c':
+				complement = true
+			case 's':
+				squeeze = true
+			case 'd':
+				del = true
+			default:
+				return c.errorf("unsupported flag -%c", f)
+			}
+		}
+		args = args[1:]
+	}
+	if len(args) < 1 {
+		return c.errorf("missing operand")
+	}
+	set1 := expandTrSet(args[0])
+	var set2 []byte
+	if len(args) > 1 {
+		set2 = expandTrSet(args[1])
+	}
+	inSet := make([]bool, 256)
+	for _, b := range set1 {
+		inSet[b] = true
+	}
+	member := func(b byte) bool { return inSet[b] != complement }
+	// Translation table: members map to their positional counterpart in
+	// set2 (the last char repeats); with -c, all members map to the last
+	// char of set2, per POSIX.
+	var xlat [256]byte
+	for i := 0; i < 256; i++ {
+		xlat[i] = byte(i)
+	}
+	if len(set2) > 0 && !del {
+		if complement {
+			last := set2[len(set2)-1]
+			for i := 0; i < 256; i++ {
+				if member(byte(i)) {
+					xlat[i] = last
+				}
+			}
+		} else {
+			for i, b := range set1 {
+				j := i
+				if j >= len(set2) {
+					j = len(set2) - 1
+				}
+				xlat[b] = set2[j]
+			}
+		}
+	}
+	var lastOut int = -1
+	buf := make([]byte, 32*1024)
+	status := c.inputs(nil, func(r io.Reader) int {
+		for {
+			n, err := r.Read(buf)
+			for _, b := range buf[:n] {
+				if del && member(b) {
+					continue
+				}
+				ob := b
+				if member(b) {
+					ob = xlat[b]
+				}
+				if squeeze && member(b) && int(ob) == lastOut {
+					continue
+				}
+				c.out.WriteByte(ob)
+				lastOut = int(ob)
+			}
+			if err != nil {
+				return 0
+			}
+		}
+	})
+	return status
+}
+
+// expandTrSet expands ranges (a-z) and escapes (\012, \n, \t) in a tr set.
+func expandTrSet(s string) []byte {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if ch == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				ch = '\n'
+			case 't':
+				ch = '\t'
+			case '\\':
+				ch = '\\'
+			default:
+				if s[i] >= '0' && s[i] <= '7' {
+					v := 0
+					for j := 0; j < 3 && i < len(s) && s[i] >= '0' && s[i] <= '7'; j++ {
+						v = v*8 + int(s[i]-'0')
+						i++
+					}
+					i--
+					ch = byte(v)
+				} else {
+					ch = s[i]
+				}
+			}
+		}
+		if i+2 < len(s) && s[i+1] == '-' && s[i+2] != '\\' {
+			hi := s[i+2]
+			for b := ch; b <= hi; b++ {
+				out = append(out, b)
+			}
+			i += 2
+			continue
+		}
+		out = append(out, ch)
+	}
+	return out
+}
+
+func builtinSort(c *ctxio, args []string) int {
+	reverse, numeric, unique := false, false, false
+	var files []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") && len(a) > 1 {
+			for _, f := range a[1:] {
+				switch f {
+				case 'r':
+					reverse = true
+				case 'n':
+					numeric = true
+				case 'u':
+					unique = true
+				default:
+					return c.errorf("unsupported flag -%c", f)
+				}
+			}
+		} else {
+			files = append(files, a)
+		}
+	}
+	var lines []string
+	c.inputs(files, func(r io.Reader) int {
+		eachLine(r, func(l string) { lines = append(lines, l) })
+		return 0
+	})
+	less := func(a, b string) bool { return a < b }
+	if numeric {
+		less = func(a, b string) bool {
+			na, nb := leadingNum(a), leadingNum(b)
+			if na != nb {
+				return na < nb
+			}
+			return a < b
+		}
+	}
+	sort.SliceStable(lines, func(x, y int) bool {
+		if reverse {
+			return less(lines[y], lines[x])
+		}
+		return less(lines[x], lines[y])
+	})
+	var prev string
+	first := true
+	for _, l := range lines {
+		if unique && !first && l == prev {
+			continue
+		}
+		c.out.WriteString(l)
+		c.out.WriteByte('\n')
+		prev, first = l, false
+	}
+	return 0
+}
+
+func leadingNum(s string) float64 {
+	s = strings.TrimLeft(s, " \t")
+	end := 0
+	for end < len(s) && (s[end] == '-' || s[end] == '+' || s[end] == '.' || (s[end] >= '0' && s[end] <= '9')) {
+		end++
+	}
+	v, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func builtinUniq(c *ctxio, args []string) int {
+	count := false
+	var files []string
+	for _, a := range args {
+		switch a {
+		case "-c":
+			count = true
+		default:
+			files = append(files, a)
+		}
+	}
+	var prev string
+	n := 0
+	flush := func() {
+		if n == 0 {
+			return
+		}
+		if count {
+			fmt.Fprintf(c.out, "%7d %s\n", n, prev)
+		} else {
+			c.out.WriteString(prev)
+			c.out.WriteByte('\n')
+		}
+	}
+	c.inputs(files, func(r io.Reader) int {
+		eachLine(r, func(l string) {
+			if n > 0 && l == prev {
+				n++
+				return
+			}
+			flush()
+			prev, n = l, 1
+		})
+		return 0
+	})
+	flush()
+	return 0
+}
+
+// builtinSed supports the small command subset the paper and common
+// scripts use: Nq (quit after N lines), s/re/repl/[g], /re/d, N,Md, p
+// with -n.
+func builtinSed(c *ctxio, args []string) int {
+	noPrint := false
+	for len(args) > 0 && args[0] == "-n" {
+		noPrint = true
+		args = args[1:]
+	}
+	if len(args) == 0 {
+		return c.errorf("missing script")
+	}
+	script := args[0]
+	files := args[1:]
+
+	// Nq: quit after printing N lines.
+	if m := regexp.MustCompile(`^(\d*)q$`).FindStringSubmatch(script); m != nil {
+		limit := 1
+		if m[1] != "" {
+			limit, _ = strconv.Atoi(m[1])
+		}
+		n := 0
+		c.inputs(files, func(r io.Reader) int {
+			eachLine(r, func(l string) {
+				if n < limit {
+					c.out.WriteString(l)
+					c.out.WriteByte('\n')
+					n++
+				}
+			})
+			return 0
+		})
+		return 0
+	}
+	// s/re/repl/[g]
+	if strings.HasPrefix(script, "s") && len(script) > 1 {
+		sep := script[1]
+		parts := strings.Split(script[2:], string(sep))
+		if len(parts) < 2 {
+			return c.errorf("bad substitution: %s", script)
+		}
+		re, err := regexp.Compile(parts[0])
+		if err != nil {
+			return c.errorf("bad pattern: %v", err)
+		}
+		repl := strings.ReplaceAll(parts[1], "\\", "$")
+		global := len(parts) > 2 && strings.Contains(parts[2], "g")
+		c.inputs(files, func(r io.Reader) int {
+			eachLine(r, func(l string) {
+				if global {
+					l = re.ReplaceAllString(l, repl)
+				} else if loc := re.FindStringIndex(l); loc != nil {
+					l = l[:loc[0]] + re.ReplaceAllString(l[loc[0]:loc[1]], repl) + l[loc[1]:]
+				}
+				if !noPrint {
+					c.out.WriteString(l)
+					c.out.WriteByte('\n')
+				}
+			})
+			return 0
+		})
+		return 0
+	}
+	// /re/d and /re/p
+	if m := regexp.MustCompile(`^/(.*)/([dp])$`).FindStringSubmatch(script); m != nil {
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			return c.errorf("bad pattern: %v", err)
+		}
+		del := m[2] == "d"
+		c.inputs(files, func(r io.Reader) int {
+			eachLine(r, func(l string) {
+				match := re.MatchString(l)
+				switch {
+				case del && match:
+				case !del && match && !noPrint:
+					c.out.WriteString(l + "\n" + l + "\n")
+				case !del && match:
+					c.out.WriteString(l + "\n")
+				case !noPrint:
+					c.out.WriteString(l + "\n")
+				}
+			})
+			return 0
+		})
+		return 0
+	}
+	return c.errorf("unsupported script: %s", script)
+}
+
+func builtinGrep(c *ctxio, args []string) int {
+	invert, ignore, count, quiet := false, false, false, false
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") && len(args[0]) > 1 {
+		for _, f := range args[0][1:] {
+			switch f {
+			case 'v':
+				invert = true
+			case 'i':
+				ignore = true
+			case 'c':
+				count = true
+			case 'q':
+				quiet = true
+			default:
+				return c.errorf("unsupported flag -%c", f)
+			}
+		}
+		args = args[1:]
+	}
+	if len(args) == 0 {
+		return c.errorf("missing pattern")
+	}
+	pat := args[0]
+	if ignore {
+		pat = "(?i)" + pat
+	}
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		return c.errorf("bad pattern: %v", err)
+	}
+	matched, n := false, 0
+	c.inputs(args[1:], func(r io.Reader) int {
+		eachLine(r, func(l string) {
+			if re.MatchString(l) != invert {
+				matched = true
+				n++
+				if !count && !quiet {
+					c.out.WriteString(l)
+					c.out.WriteByte('\n')
+				}
+			}
+		})
+		return 0
+	})
+	if count {
+		fmt.Fprintf(c.out, "%d\n", n)
+	}
+	if matched {
+		return 0
+	}
+	return 1
+}
+
+func headTailCount(args []string) (int, []string, bool) {
+	n := 10
+	var files []string
+	for k := 0; k < len(args); k++ {
+		a := args[k]
+		switch {
+		case a == "-n" && k+1 < len(args):
+			v, err := strconv.Atoi(args[k+1])
+			if err != nil {
+				return 0, nil, false
+			}
+			n = v
+			k++
+		case strings.HasPrefix(a, "-n"):
+			v, err := strconv.Atoi(a[2:])
+			if err != nil {
+				return 0, nil, false
+			}
+			n = v
+		case strings.HasPrefix(a, "-") && len(a) > 1:
+			v, err := strconv.Atoi(a[1:])
+			if err != nil {
+				return 0, nil, false
+			}
+			n = v
+		default:
+			files = append(files, a)
+		}
+	}
+	return n, files, true
+}
+
+func builtinHead(c *ctxio, args []string) int {
+	n, files, ok := headTailCount(args)
+	if !ok {
+		return c.errorf("bad count")
+	}
+	return c.inputs(files, func(r io.Reader) int {
+		k := 0
+		eachLine(r, func(l string) {
+			if k < n {
+				c.out.WriteString(l)
+				c.out.WriteByte('\n')
+				k++
+			}
+		})
+		return 0
+	})
+}
+
+func builtinTail(c *ctxio, args []string) int {
+	n, files, ok := headTailCount(args)
+	if !ok {
+		return c.errorf("bad count")
+	}
+	return c.inputs(files, func(r io.Reader) int {
+		var keep []string
+		eachLine(r, func(l string) {
+			keep = append(keep, l)
+			if len(keep) > n {
+				keep = keep[1:]
+			}
+		})
+		for _, l := range keep {
+			c.out.WriteString(l)
+			c.out.WriteByte('\n')
+		}
+		return 0
+	})
+}
+
+func builtinWc(c *ctxio, args []string) int {
+	var lines, words, chars bool
+	var files []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") && len(a) > 1 {
+			for _, f := range a[1:] {
+				switch f {
+				case 'l':
+					lines = true
+				case 'w':
+					words = true
+				case 'c':
+					chars = true
+				default:
+					return c.errorf("unsupported flag -%c", f)
+				}
+			}
+		} else {
+			files = append(files, a)
+		}
+	}
+	if !lines && !words && !chars {
+		lines, words, chars = true, true, true
+	}
+	print := func(l, w, ch int64, name string) {
+		var cols []string
+		if lines {
+			cols = append(cols, fmt.Sprintf("%7d", l))
+		}
+		if words {
+			cols = append(cols, fmt.Sprintf("%7d", w))
+		}
+		if chars {
+			cols = append(cols, fmt.Sprintf("%7d", ch))
+		}
+		if name != "" {
+			cols = append(cols, name)
+		}
+		c.out.WriteString(strings.Join(cols, " "))
+		c.out.WriteByte('\n')
+	}
+	countOne := func(r io.Reader) (int64, int64, int64) {
+		var l, w, ch int64
+		inWord := false
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := r.Read(buf)
+			for _, b := range buf[:n] {
+				ch++
+				if b == '\n' {
+					l++
+				}
+				sp := b == ' ' || b == '\t' || b == '\n' || b == '\r'
+				if !sp && !inWord {
+					w++
+				}
+				inWord = !sp
+			}
+			if err != nil {
+				return l, w, ch
+			}
+		}
+	}
+	if len(files) == 0 {
+		l, w, ch := countOne(c.in)
+		print(l, w, ch, "")
+		return 0
+	}
+	var tl, tw, tch int64
+	status := 0
+	for _, f := range files {
+		r, err := openFile(c, f)
+		if err != nil {
+			status = c.errorf("%s: %v", f, err)
+			continue
+		}
+		l, w, ch := countOne(r)
+		r.Close()
+		print(l, w, ch, f)
+		tl, tw, tch = tl+l, tw+w, tch+ch
+	}
+	if len(files) > 1 {
+		print(tl, tw, tch, "total")
+	}
+	return status
+}
+
+func builtinTee(c *ctxio, args []string) int {
+	appendMode := false
+	var files []string
+	for _, a := range args {
+		if a == "-a" {
+			appendMode = true
+		} else {
+			files = append(files, a)
+		}
+	}
+	writers := []io.Writer{c.out}
+	var closers []io.Closer
+	flags := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	if appendMode {
+		flags = os.O_WRONLY | os.O_CREATE | os.O_APPEND
+	}
+	for _, f := range files {
+		w, err := os.OpenFile(c.resolve(f), flags, 0o666)
+		if err != nil {
+			return c.errorf("%s: %v", f, err)
+		}
+		writers = append(writers, w)
+		closers = append(closers, w)
+	}
+	io.Copy(io.MultiWriter(writers...), c.in)
+	for _, cl := range closers {
+		cl.Close()
+	}
+	return 0
+}
+
+func builtinCut(c *ctxio, args []string) int {
+	delim := "\t"
+	var fields []int
+	var files []string
+	for k := 0; k < len(args); k++ {
+		a := args[k]
+		switch {
+		case strings.HasPrefix(a, "-d"):
+			if a == "-d" && k+1 < len(args) {
+				delim = args[k+1]
+				k++
+			} else {
+				delim = a[2:]
+			}
+		case strings.HasPrefix(a, "-f"):
+			spec := a[2:]
+			if a == "-f" && k+1 < len(args) {
+				spec = args[k+1]
+				k++
+			}
+			for _, part := range strings.Split(spec, ",") {
+				if n, err := strconv.Atoi(part); err == nil {
+					fields = append(fields, n)
+				}
+			}
+		default:
+			files = append(files, a)
+		}
+	}
+	if len(fields) == 0 {
+		return c.errorf("missing field list")
+	}
+	return c.inputs(files, func(r io.Reader) int {
+		eachLine(r, func(l string) {
+			cols := strings.Split(l, delim)
+			var outCols []string
+			for _, f := range fields {
+				if f >= 1 && f <= len(cols) {
+					outCols = append(outCols, cols[f-1])
+				}
+			}
+			c.out.WriteString(strings.Join(outCols, delim))
+			c.out.WriteByte('\n')
+		})
+		return 0
+	})
+}
+
+func builtinRev(c *ctxio, args []string) int {
+	return c.inputs(args, func(r io.Reader) int {
+		eachLine(r, func(l string) {
+			rs := []rune(l)
+			for a, b := 0, len(rs)-1; a < b; a, b = a+1, b-1 {
+				rs[a], rs[b] = rs[b], rs[a]
+			}
+			c.out.WriteString(string(rs))
+			c.out.WriteByte('\n')
+		})
+		return 0
+	})
+}
+
+func builtinTac(c *ctxio, args []string) int {
+	var lines []string
+	c.inputs(args, func(r io.Reader) int {
+		eachLine(r, func(l string) { lines = append(lines, l) })
+		return 0
+	})
+	for k := len(lines) - 1; k >= 0; k-- {
+		c.out.WriteString(lines[k])
+		c.out.WriteByte('\n')
+	}
+	return 0
+}
+
+func builtinNl(c *ctxio, args []string) int {
+	n := 0
+	return c.inputs(args, func(r io.Reader) int {
+		eachLine(r, func(l string) {
+			n++
+			fmt.Fprintf(c.out, "%6d\t%s\n", n, l)
+		})
+		return 0
+	})
+}
+
+func builtinCmp(c *ctxio, args []string) int {
+	if len(args) != 2 {
+		return c.errorf("usage: cmp file1 file2")
+	}
+	a, err := os.ReadFile(c.resolve(args[0]))
+	if err != nil {
+		return c.errorf("%v", err)
+	}
+	b, err := os.ReadFile(c.resolve(args[1]))
+	if err != nil {
+		return c.errorf("%v", err)
+	}
+	if string(a) == string(b) {
+		return 0
+	}
+	fmt.Fprintf(c.out, "%s %s differ\n", args[0], args[1])
+	return 1
+}

@@ -1,0 +1,384 @@
+package gc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAndAccess(t *testing.T) {
+	h := NewHeap(128)
+	s := h.String("hello")
+	if h.KindOf(s) != KString || h.Str(s) != "hello" {
+		t.Fatalf("string object broken")
+	}
+	c := h.Cons(s, Nil)
+	if h.KindOf(c) != KCons || h.Car(c) != s || !h.Cdr(c).IsNil() {
+		t.Fatalf("cons object broken")
+	}
+	b := h.Binding("x", c, Nil)
+	if h.Str(b) != "x" || h.Car(b) != c {
+		t.Fatalf("binding object broken")
+	}
+	cl := h.Closure("@ * {}", b)
+	if h.Str(cl) != "@ * {}" || h.Car(cl) != b {
+		t.Fatalf("closure object broken")
+	}
+	if h.Stats().Allocated != 4 {
+		t.Errorf("allocated = %d, want 4", h.Stats().Allocated)
+	}
+}
+
+// buildList makes a rooted list of n strings "0".."n-1"; the caller must
+// RemoveRoot the returned slot.
+func buildList(h *Heap, n int) *Ref {
+	list := new(Ref)
+	h.AddRoot(list)
+	for k := n - 1; k >= 0; k-- {
+		s := h.String(fmt.Sprint(k))
+		h.AddRoot(&s)
+		*list = h.Cons(s, *list)
+		h.RemoveRoot(&s)
+	}
+	return list
+}
+
+func listStrings(h *Heap, r Ref) []string {
+	var out []string
+	for !r.IsNil() {
+		out = append(out, h.Str(h.Car(r)))
+		r = h.Cdr(r)
+	}
+	return out
+}
+
+func TestCollectPreservesReachable(t *testing.T) {
+	h := NewHeap(128)
+	list := buildList(h, 10)
+	defer h.RemoveRoot(list)
+	before := listStrings(h, *list)
+	h.Collect()
+	after := listStrings(h, *list)
+	if strings.Join(before, ",") != strings.Join(after, ",") {
+		t.Fatalf("collection corrupted list: %v → %v", before, after)
+	}
+	if h.Stats().LiveAfterGC != 20 { // 10 conses + 10 strings
+		t.Errorf("live = %d, want 20", h.Stats().LiveAfterGC)
+	}
+}
+
+func TestCollectReclaimsGarbage(t *testing.T) {
+	h := NewHeap(1024)
+	keep := buildList(h, 5)
+	defer h.RemoveRoot(keep)
+	// Unrooted garbage.
+	for k := 0; k < 100; k++ {
+		g := h.String("garbage")
+		h.Cons(g, Nil)
+	}
+	h.Collect()
+	if live := h.Stats().LiveAfterGC; live != 10 {
+		t.Errorf("live after GC = %d, want 10 (garbage must be reclaimed)", live)
+	}
+	if h.Len() != 10 {
+		t.Errorf("space length = %d, want 10", h.Len())
+	}
+}
+
+// Allocation pressure triggers collection automatically; live data
+// survives arbitrarily many collections.
+func TestAutomaticCollection(t *testing.T) {
+	h := NewHeap(MinHeap)
+	list := buildList(h, 8)
+	defer h.RemoveRoot(list)
+	want := strings.Join(listStrings(h, *list), ",")
+	for k := 0; k < 10000; k++ {
+		h.String("transient")
+	}
+	if h.Stats().Collections == 0 {
+		t.Fatal("no collections under pressure")
+	}
+	if got := strings.Join(listStrings(h, *list), ","); got != want {
+		t.Fatalf("list corrupted: %s → %s", want, got)
+	}
+}
+
+// When live data exceeds the space, "a larger block is allocated and the
+// collection is redone."
+func TestGrowth(t *testing.T) {
+	h := NewHeap(MinHeap)
+	list := buildList(h, 500)
+	defer h.RemoveRoot(list)
+	if h.Stats().Grows == 0 {
+		t.Errorf("expected grow-and-recollect, stats: %+v", h.Stats())
+	}
+	if got := len(listStrings(h, *list)); got != 500 {
+		t.Errorf("list length after growth = %d", got)
+	}
+}
+
+// While collection is disabled (the yacc-parser window), allocation
+// grabs more memory instead of collecting.
+func TestDisabledWindow(t *testing.T) {
+	h := NewHeap(MinHeap)
+	h.Disable()
+	before := h.Stats().Collections
+	// Unrooted garbage: would normally be collected, must not be now.
+	refs := make([]Ref, 0, 1000)
+	for k := 0; k < 1000; k++ {
+		refs = append(refs, h.String("kept-while-disabled"))
+	}
+	if h.Stats().Collections != before {
+		t.Fatal("collected while disabled")
+	}
+	// Everything is still accessible even though nothing was rooted.
+	for _, r := range refs {
+		if h.Str(r) != "kept-while-disabled" {
+			t.Fatal("object lost while disabled")
+		}
+	}
+	h.Enable()
+	h.Collect()
+	if h.Stats().LiveAfterGC != 0 {
+		t.Errorf("live = %d after enabling and collecting", h.Stats().LiveAfterGC)
+	}
+}
+
+func TestEnableWithoutDisablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHeap(0).Enable()
+}
+
+// The debug collector catches a deliberately unregistered root — the
+// paper: "any reference to a pointer in garbage collector space which
+// could be invalidated by a collection immediately causes a memory
+// protection fault.  We strongly recommend this technique."
+func TestDebugModeCatchesMissingRoot(t *testing.T) {
+	h := NewHeap(128)
+	h.Debug = true
+	leaked := h.String("not rooted") // BUG under test: never registered
+	rooted := buildList(h, 1)
+	defer h.RemoveRoot(rooted)
+	// In debug mode the very next allocation collects, so the stale
+	// reference faults immediately.
+	h.String("trigger")
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("stale reference not caught")
+		} else if !strings.Contains(fmt.Sprint(r), "stale reference") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	_ = h.Str(leaked)
+}
+
+// Debug mode does not disturb correct code.
+func TestDebugModeTransparent(t *testing.T) {
+	h := NewHeap(128)
+	h.Debug = true
+	list := buildList(h, 20)
+	defer h.RemoveRoot(list)
+	got := listStrings(h, *list)
+	if len(got) != 20 || got[0] != "0" || got[19] != "19" {
+		t.Fatalf("debug heap corrupted list: %v", got)
+	}
+	if h.Stats().Collections < 20 {
+		t.Errorf("debug mode should collect at every allocation; collections = %d", h.Stats().Collections)
+	}
+}
+
+// Shared structure stays shared across collection (no duplication).
+func TestCollectPreservesSharing(t *testing.T) {
+	h := NewHeap(128)
+	shared := h.String("shared")
+	h.AddRoot(&shared)
+	defer h.RemoveRoot(&shared)
+	a := h.Cons(shared, Nil)
+	h.AddRoot(&a)
+	defer h.RemoveRoot(&a)
+	b := h.Cons(shared, Nil)
+	h.AddRoot(&b)
+	defer h.RemoveRoot(&b)
+	h.Collect()
+	if h.Car(a) != h.Car(b) {
+		t.Fatal("shared object duplicated by collection")
+	}
+	if h.Stats().LiveAfterGC != 3 {
+		t.Errorf("live = %d, want 3", h.Stats().LiveAfterGC)
+	}
+}
+
+// Cyclic structures (es "includes the ability to create true recursive
+// structures") are collected without looping.
+func TestCollectHandlesCycles(t *testing.T) {
+	h := NewHeap(128)
+	a := h.Cons(Nil, Nil)
+	h.AddRoot(&a)
+	defer h.RemoveRoot(&a)
+	b := h.Cons(a, Nil)
+	h.AddRoot(&b)
+	defer h.RemoveRoot(&b)
+	h.SetCdr(a, b) // a ↔ b cycle
+	h.Collect()
+	if h.Car(h.Cdr(a)) != a {
+		t.Fatal("cycle broken by collection")
+	}
+	if h.Stats().LiveAfterGC != 2 {
+		t.Errorf("live = %d, want 2", h.Stats().LiveAfterGC)
+	}
+}
+
+// Property: any reachable structure survives collection with identical
+// contents; garbage never survives.
+func TestCollectProperty(t *testing.T) {
+	f := func(values []uint16, garbage []uint16) bool {
+		if len(values) > 200 {
+			values = values[:200]
+		}
+		if len(garbage) > 200 {
+			garbage = garbage[:200]
+		}
+		h := NewHeap(128)
+		list := new(Ref)
+		h.AddRoot(list)
+		var want []string
+		for _, v := range values {
+			s := h.String(fmt.Sprint(v))
+			h.AddRoot(&s)
+			*list = h.Cons(s, *list)
+			h.RemoveRoot(&s)
+			want = append(want, fmt.Sprint(v))
+		}
+		for _, g := range garbage {
+			h.String(fmt.Sprint(g))
+		}
+		h.Collect()
+		got := listStrings(h, *list)
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range got {
+			// The list is reversed relative to insertion.
+			if got[k] != want[len(want)-1-k] {
+				return false
+			}
+		}
+		return h.Stats().LiveAfterGC == 2*len(values)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Replay exercises the full shell profile without faulting and with
+// bounded live data (the paper's observation 3).
+func TestReplayBoundedWorkingSet(t *testing.T) {
+	h := NewHeap(4096)
+	stats := Replay(h, DefaultProfile, 500)
+	if stats.Collections == 0 {
+		t.Fatal("replay triggered no collections")
+	}
+	bound := DefaultProfile.EnvSize*2 + 8*DefaultProfile.Retained + 64
+	if stats.LiveAfterGC > bound {
+		t.Errorf("working set grew: live = %d, bound %d", stats.LiveAfterGC, bound)
+	}
+}
+
+// Loop-heavy workloads allocate much more but stay bounded too
+// (observation 2: bursts are short-lived).
+func TestReplayLoopBurst(t *testing.T) {
+	h := NewHeap(4096)
+	p := DefaultProfile
+	p.LoopDepth = 16
+	stats := Replay(h, p, 100)
+	if stats.Allocated < 10000 {
+		t.Errorf("loop profile allocated only %d", stats.Allocated)
+	}
+	bound := p.EnvSize*2 + 8*p.Retained + 64
+	if stats.LiveAfterGC > bound {
+		t.Errorf("live = %d, bound %d", stats.LiveAfterGC, bound)
+	}
+}
+
+func TestStaleRefAlwaysCaught(t *testing.T) {
+	h := NewHeap(128)
+	old := h.String("x")
+	h.Collect() // old not rooted: collected
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale reference not caught")
+		}
+	}()
+	_ = h.Str(old)
+}
+
+func TestNilDerefPanics(t *testing.T) {
+	h := NewHeap(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on nil deref")
+		}
+	}()
+	h.Str(Nil)
+}
+
+func TestCheckValidGraph(t *testing.T) {
+	h := NewHeap(128)
+	list := buildList(h, 6)
+	defer h.RemoveRoot(list)
+	n, err := h.Check()
+	if err != nil || n != 12 {
+		t.Errorf("Check = %d, %v; want 12, nil", n, err)
+	}
+	h.Collect()
+	if n, err := h.Check(); err != nil || n != 12 {
+		t.Errorf("Check after GC = %d, %v", n, err)
+	}
+}
+
+func TestCheckDetectsStaleRoot(t *testing.T) {
+	h := NewHeap(128)
+	stale := h.String("old")
+	h.Collect() // stale not rooted: collected
+	h.AddRoot(&stale)
+	defer h.RemoveRoot(&stale)
+	if _, err := h.Check(); err == nil {
+		t.Fatal("Check accepted a stale root")
+	}
+}
+
+// Check holds across random mutation + collection sequences.
+func TestCheckProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		h := NewHeap(MinHeap)
+		anchor := Nil
+		h.AddRoot(&anchor)
+		defer h.RemoveRoot(&anchor)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				anchor = h.Cons(h.String("s"), anchor)
+			case 1:
+				h.String("garbage")
+			case 2:
+				h.Collect()
+			case 3:
+				if !anchor.IsNil() && h.KindOf(anchor) == KCons {
+					h.SetCar(anchor, Nil)
+				}
+			}
+			if _, err := h.Check(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

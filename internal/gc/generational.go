@@ -1,0 +1,308 @@
+package gc
+
+// The road not taken.  The paper: "While a generational garbage collector
+// might have made sense for the same reasons that we picked a copying
+// collector, we decided to avoid the added complexity implied by
+// switching to the generational model."
+//
+// GenHeap implements that generational model so the trade-off can be
+// measured instead of argued: a nursery collected by copying with en-
+// masse promotion into a tenured space, a write barrier maintaining the
+// remembered set for old→young pointers, and a full collection when the
+// tenured space fills.  The benchmarks replay identical shell workloads
+// through both collectors; see EXPERIMENTS.md (E8).
+
+import (
+	"fmt"
+	"time"
+)
+
+// Arena is the allocation interface shared by the two collectors, so the
+// workload replayer drives either.
+type Arena interface {
+	String(s string) Ref
+	Cons(car, cdr Ref) Ref
+	Closure(source string, env Ref) Ref
+	Binding(name string, value, next Ref) Ref
+	AddRoot(slot *Ref)
+	RemoveRoot(slot *Ref)
+	KindOf(r Ref) Kind
+	Car(r Ref) Ref
+	Cdr(r Ref) Ref
+	SetCar(r, v Ref)
+	SetCdr(r, v Ref)
+	Stats() Stats
+}
+
+var (
+	_ Arena = (*Heap)(nil)
+	_ Arena = (*GenHeap)(nil)
+)
+
+// genSpace tags the two generations inside a Ref.  The tag lives in the
+// top bit; the generation counter below it detects stale references into
+// collected spaces, as in the plain Heap.
+const oldBit = uint32(1 << 31)
+
+// GenStats extends Stats with generational behaviour.
+type GenStats struct {
+	Stats
+	Minor       int   // nursery collections
+	Major       int   // full collections
+	Promoted    int64 // objects tenured
+	BarrierHits int64 // old→young pointers remembered
+}
+
+// GenHeap is a two-generation copying collector.
+type GenHeap struct {
+	nursery  []object
+	old      []object
+	youngGen uint32 // bumped by minor collections
+	oldGen   uint32 // bumped by major collections
+	roots    []*Ref
+	// remembered holds indices of old objects that may point into the
+	// nursery (maintained by the write barrier).
+	remembered map[int]struct{}
+
+	stats GenStats
+}
+
+// NewGenHeap creates a generational heap: nursery objects per minor
+// cycle, tenured capacity before a major collection.
+func NewGenHeap(nursery, tenured int) *GenHeap {
+	if nursery < MinHeap {
+		nursery = MinHeap
+	}
+	if tenured < 4*nursery {
+		tenured = 4 * nursery
+	}
+	return &GenHeap{
+		nursery:    make([]object, 0, nursery),
+		old:        make([]object, 0, tenured),
+		youngGen:   1,
+		oldGen:     1,
+		remembered: make(map[int]struct{}),
+	}
+}
+
+// Stats returns the base collector statistics (total collections etc.).
+func (h *GenHeap) Stats() Stats { return h.stats.Stats }
+
+// GenStats returns the full generational statistics.
+func (h *GenHeap) GenStats() GenStats { return h.stats }
+
+// AddRoot / RemoveRoot mirror Heap's rootset registration.
+func (h *GenHeap) AddRoot(slot *Ref) { h.roots = append(h.roots, slot) }
+
+func (h *GenHeap) RemoveRoot(slot *Ref) {
+	for k, r := range h.roots {
+		if r == slot {
+			h.roots[k] = h.roots[len(h.roots)-1]
+			h.roots = h.roots[:len(h.roots)-1]
+			return
+		}
+	}
+}
+
+func (h *GenHeap) isOld(r Ref) bool { return r.gen()&oldBit != 0 }
+
+func (h *GenHeap) get(r Ref) *object {
+	if r.IsNil() {
+		panic("gc: nil dereference")
+	}
+	g := r.gen()
+	if g&oldBit != 0 {
+		if g&^oldBit != h.oldGen {
+			panic(fmt.Sprintf("gc: stale tenured reference (gen %d, heap %d)", g&^oldBit, h.oldGen))
+		}
+		return &h.old[r.index()]
+	}
+	if g != h.youngGen {
+		panic(fmt.Sprintf("gc: stale nursery reference (gen %d, heap %d): unregistered root?", g, h.youngGen))
+	}
+	return &h.nursery[r.index()]
+}
+
+// alloc places a new object in the nursery, running a minor collection
+// (and possibly a major one) when it is full.
+func (h *GenHeap) alloc(o object) Ref {
+	h.stats.Allocated++
+	h.stats.StrBytes += int64(len(o.str))
+	if len(h.nursery) == cap(h.nursery) {
+		h.minor()
+	}
+	h.nursery = append(h.nursery, o)
+	return makeRef(h.youngGen, len(h.nursery)-1)
+}
+
+func (h *GenHeap) allocWithRefs(kind Kind, str string, a, b Ref) Ref {
+	h.AddRoot(&a)
+	h.AddRoot(&b)
+	r := h.alloc(object{kind: kind, str: str})
+	h.RemoveRoot(&b)
+	h.RemoveRoot(&a)
+	o := h.get(r)
+	o.a, o.b = a, b
+	return r
+}
+
+// String, Cons, Closure, Binding mirror Heap's constructors.
+func (h *GenHeap) String(s string) Ref { return h.alloc(object{kind: KString, str: s}) }
+
+func (h *GenHeap) Cons(car, cdr Ref) Ref { return h.allocWithRefs(KCons, "", car, cdr) }
+
+func (h *GenHeap) Closure(source string, env Ref) Ref {
+	return h.allocWithRefs(KClosure, source, env, Nil)
+}
+
+func (h *GenHeap) Binding(name string, value, next Ref) Ref {
+	return h.allocWithRefs(KBinding, name, value, next)
+}
+
+// Accessors with the write barrier on mutation: storing a young pointer
+// into an old object adds the object to the remembered set — this is the
+// "added complexity" the paper avoided.
+func (h *GenHeap) KindOf(r Ref) Kind { return h.get(r).kind }
+func (h *GenHeap) Str(r Ref) string  { return h.get(r).str }
+func (h *GenHeap) Car(r Ref) Ref     { return h.get(r).a }
+func (h *GenHeap) Cdr(r Ref) Ref     { return h.get(r).b }
+
+func (h *GenHeap) SetCar(r, v Ref) {
+	h.barrier(r, v)
+	h.get(r).a = v
+}
+
+func (h *GenHeap) SetCdr(r, v Ref) {
+	h.barrier(r, v)
+	h.get(r).b = v
+}
+
+func (h *GenHeap) barrier(container, value Ref) {
+	if h.isOld(container) && !value.IsNil() && !h.isOld(value) {
+		h.remembered[container.index()] = struct{}{}
+		h.stats.BarrierHits++
+	}
+}
+
+// minor copies the live nursery into the tenured space (en-masse
+// promotion), guided by the rootset and the remembered set.
+func (h *GenHeap) minor() {
+	start := time.Now()
+	oldYoung := h.youngGen
+	h.youngGen++
+
+	var forward func(r Ref) Ref
+	forward = func(r Ref) Ref {
+		if r.IsNil() || r.gen()&oldBit != 0 {
+			return r // old refs are stable across a minor collection
+		}
+		if r.gen() != oldYoung {
+			panic("gc: cross-generation confusion in minor collection")
+		}
+		o := &h.nursery[r.index()]
+		if !o.fwd.IsNil() {
+			return o.fwd
+		}
+		if len(h.old) == cap(h.old) {
+			// Tenured space exhausted mid-promotion: grow it (the
+			// major collection will shrink later if possible).
+			grown := make([]object, len(h.old), cap(h.old)*2)
+			copy(grown, h.old)
+			h.old = grown
+		}
+		h.old = append(h.old, object{kind: o.kind, a: o.a, b: o.b, str: o.str})
+		nr := makeRef(h.oldGen|oldBit, len(h.old)-1)
+		o.fwd = nr
+		h.stats.Copied++
+		h.stats.Promoted++
+		return nr
+	}
+
+	scanStart := len(h.old)
+	for _, slot := range h.roots {
+		*slot = forward(*slot)
+	}
+	for idx := range h.remembered {
+		h.old[idx].a = forward(h.old[idx].a)
+		h.old[idx].b = forward(h.old[idx].b)
+	}
+	// Cheney scan of the promotion frontier: everything promoted this
+	// cycle sits past scanStart, and scanning may promote more.
+	for scan := scanStart; scan < len(h.old); scan++ {
+		h.old[scan].a = forward(h.old[scan].a)
+		h.old[scan].b = forward(h.old[scan].b)
+	}
+
+	h.nursery = h.nursery[:0]
+	h.remembered = make(map[int]struct{})
+	h.stats.Minor++
+	h.stats.Collections++
+	h.stats.GCTime += time.Since(start)
+
+	// Tenured space nearly full: do a full collection.
+	if len(h.old) > cap(h.old)*3/4 {
+		h.major()
+	}
+	h.stats.LiveAfterGC = len(h.old) + len(h.nursery)
+}
+
+// major performs a full collection over both generations.
+func (h *GenHeap) major() {
+	start := time.Now()
+	oldOld, oldYoung := h.oldGen, h.youngGen
+	h.oldGen++
+	h.youngGen++
+	to := make([]object, 0, cap(h.old))
+
+	var forward func(r Ref) Ref
+	forward = func(r Ref) Ref {
+		if r.IsNil() {
+			return Nil
+		}
+		var o *object
+		switch {
+		case r.gen()&oldBit != 0:
+			if r.gen()&^oldBit != oldOld {
+				panic("gc: stale tenured ref in major collection")
+			}
+			o = &h.old[r.index()]
+		default:
+			if r.gen() != oldYoung {
+				panic("gc: stale nursery ref in major collection")
+			}
+			o = &h.nursery[r.index()]
+		}
+		if !o.fwd.IsNil() {
+			return o.fwd
+		}
+		if len(to) == cap(to) {
+			grown := make([]object, len(to), cap(to)*2)
+			copy(grown, to)
+			to = grown
+		}
+		to = append(to, object{kind: o.kind, a: o.a, b: o.b, str: o.str})
+		nr := makeRef(h.oldGen|oldBit, len(to)-1)
+		o.fwd = nr
+		h.stats.Copied++
+		return nr
+	}
+
+	for _, slot := range h.roots {
+		*slot = forward(*slot)
+	}
+	for scan := 0; scan < len(to); scan++ {
+		to[scan].a = forward(to[scan].a)
+		to[scan].b = forward(to[scan].b)
+	}
+
+	h.old = to
+	h.nursery = h.nursery[:0]
+	h.remembered = make(map[int]struct{})
+	h.stats.Major++
+	h.stats.Collections++
+	h.stats.GCTime += time.Since(start)
+	h.stats.LiveAfterGC = len(h.old)
+}
+
+// Collect forces a full collection (interface parity with Heap).
+func (h *GenHeap) Collect() { h.major() }

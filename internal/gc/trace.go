@@ -1,0 +1,133 @@
+package gc
+
+// Shell-workload replay.  The paper motivates the copying collector with
+// three observations about shell allocation behaviour:
+//
+//  (1) "between two separate commands little memory is preserved (it
+//      roughly corresponds to the storage for environment variables)";
+//  (2) "command execution can consume large amounts of memory for a
+//      short time, especially when loops are involved";
+//  (3) "however much memory is used, the working set of the shell will
+//      typically be much smaller than the physical memory available."
+//
+// CommandProfile captures per-command allocation counts; the interpreter
+// records real ones (core.AllocStats averaged over commands), and Replay
+// drives the collector with the same mixture: a long-lived environment, a
+// burst of short-lived cells per command, and a tiny surviving residue.
+
+// CommandProfile describes the allocation behaviour of one command.
+type CommandProfile struct {
+	Terms     int // transient string cells allocated per command
+	Conses    int // transient list cells per command
+	Closures  int // closures built per command
+	Bindings  int // parameter/let bindings per command
+	Retained  int // cells that survive the command (assignments)
+	StrLen    int // payload size of string cells
+	EnvSize   int // long-lived environment bindings (the rootset residue)
+	LoopDepth int // extra burst factor for loop-heavy commands (obs. 2)
+}
+
+// DefaultProfile approximates an interactive shell session; the values
+// are in the range the instrumented interpreter reports for the paper's
+// transcripts (see the root benchmark harness, which derives a profile
+// from live core.AllocStats instead of using this default).
+var DefaultProfile = CommandProfile{
+	Terms:    24,
+	Conses:   12,
+	Closures: 3,
+	Bindings: 6,
+	Retained: 2,
+	StrLen:   8,
+	EnvSize:  64,
+	// LoopDepth 0: plain commands.
+}
+
+// Replay runs n command cycles of the profile against an arena (either
+// the paper's copying collector or the generational comparison) and
+// returns the final collector statistics.  The environment chain is the
+// only registered long-lived root; everything else becomes garbage at the
+// next command boundary, per observation (1).
+func Replay(h Arena, p CommandProfile, n int) Stats {
+	payload := make([]byte, p.StrLen)
+	for k := range payload {
+		payload[k] = byte('a' + k%26)
+	}
+	str := string(payload)
+
+	// Long-lived environment (observation 1's residue).
+	env := Nil
+	h.AddRoot(&env)
+	defer h.RemoveRoot(&env)
+	for k := 0; k < p.EnvSize; k++ {
+		v := h.String(str)
+		h.AddRoot(&v)
+		env = h.Binding("var", v, env)
+		h.RemoveRoot(&v)
+	}
+
+	// Retained values survive across commands (a bounded window, like a
+	// shell's $result and recent assignments).
+	retained := Nil
+	h.AddRoot(&retained)
+	defer h.RemoveRoot(&retained)
+
+	burst := 1 + p.LoopDepth
+	for cmd := 0; cmd < n; cmd++ {
+		// Transient command-evaluation garbage (observation 2).
+		var scratch Ref
+		h.AddRoot(&scratch)
+		for b := 0; b < burst; b++ {
+			scratch = Nil
+			for k := 0; k < p.Terms; k++ {
+				s := h.String(str)
+				h.AddRoot(&s)
+				scratch = h.Cons(s, scratch)
+				h.RemoveRoot(&s)
+			}
+			for k := 0; k < p.Conses; k++ {
+				scratch = h.Cons(Nil, scratch)
+			}
+			for k := 0; k < p.Closures; k++ {
+				c := h.Closure("@ * {echo $*}", env)
+				h.AddRoot(&c)
+				scratch = h.Cons(c, scratch)
+				h.RemoveRoot(&c)
+			}
+			for k := 0; k < p.Bindings; k++ {
+				env2 := h.Binding("param", scratch, env)
+				_ = env2 // dropped at command end, like call frames
+			}
+		}
+		// A little survives each command (assignments to globals).
+		keep := retained
+		h.AddRoot(&keep)
+		for k := 0; k < p.Retained; k++ {
+			s := h.String(str)
+			h.AddRoot(&s)
+			keep = h.Cons(s, keep)
+			h.RemoveRoot(&s)
+		}
+		// Bound the retained window so the working set stays small
+		// (observation 3).
+		retained = trim(h, keep, 4*p.Retained)
+		h.RemoveRoot(&keep)
+		h.RemoveRoot(&scratch)
+	}
+	return h.Stats()
+}
+
+// trim truncates a cons chain to at most n cells.
+func trim(h Arena, list Ref, n int) Ref {
+	r := list
+	for k := 0; k < n && !r.IsNil(); k++ {
+		if h.KindOf(r) != KCons {
+			return list
+		}
+		if k == n-1 {
+			h.SetCdr(r, Nil)
+			return list
+		}
+		r = h.Cdr(r)
+	}
+	return list
+}

@@ -1,0 +1,22 @@
+package glob
+
+import "testing"
+
+// FuzzMatch: matching terminates without panics on arbitrary patterns,
+// and a literal pattern matches exactly itself.
+func FuzzMatch(f *testing.F) {
+	f.Add("a*b?c[d-f]", "axbycd")
+	f.Add("[", "[")
+	f.Add("[~]]", "]")
+	f.Add("***", "")
+	f.Fuzz(func(t *testing.T, pat, s string) {
+		New(pat).Match(s)
+		lit := NewLiteral(pat)
+		if !lit.Match(pat) {
+			t.Fatalf("literal %q does not match itself", pat)
+		}
+		if pat != s && lit.Match(s) && pat != s {
+			t.Fatalf("literal %q matched %q", pat, s)
+		}
+	})
+}

@@ -1,0 +1,336 @@
+// Package glob implements es wildcard patterns: '*' matches any sequence,
+// '?' matches one character, and '[...]' matches a character class ('~' or
+// '^' directly after '[' negates; ']' first in a class is literal; 'a-z'
+// ranges are supported).
+//
+// The same machinery backs both the ~ match command and filename
+// expansion.  Because quoting protects characters from wildcard meaning, a
+// Pattern carries a per-byte literal mask: 'a*' is a literal star, a* is a
+// wildcard.
+package glob
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Pattern is a wildcard pattern with a per-byte literal mask.
+type Pattern struct {
+	text string
+	lit  []bool // lit[i] → text[i] has no wildcard meaning; nil → all magic
+}
+
+// New returns a pattern in which every character may be magic.
+func New(text string) Pattern {
+	return Pattern{text: text}
+}
+
+// NewLiteral returns a pattern that matches text exactly.
+func NewLiteral(text string) Pattern {
+	lit := make([]bool, len(text))
+	for i := range lit {
+		lit[i] = true
+	}
+	return Pattern{text: text, lit: lit}
+}
+
+// Concat joins two patterns (used for word concatenation: a^'*').
+func Concat(a, b Pattern) Pattern {
+	if a.lit == nil && b.lit == nil {
+		return Pattern{text: a.text + b.text}
+	}
+	lit := make([]bool, 0, len(a.text)+len(b.text))
+	lit = append(lit, a.mask()...)
+	lit = append(lit, b.mask()...)
+	return Pattern{text: a.text + b.text, lit: lit}
+}
+
+func (p Pattern) mask() []bool {
+	if p.lit != nil {
+		return p.lit
+	}
+	return make([]bool, len(p.text)) // all magic
+}
+
+// String returns the pattern text (losing the literal mask).
+func (p Pattern) String() string { return p.text }
+
+func (p Pattern) isMagic(i int) bool {
+	return p.lit == nil || !p.lit[i]
+}
+
+// HasWild reports whether the pattern contains any unquoted wildcard.
+func (p Pattern) HasWild() bool {
+	for i := 0; i < len(p.text); i++ {
+		if !p.isMagic(i) {
+			continue
+		}
+		switch p.text[i] {
+		case '*', '?', '[':
+			return true
+		}
+	}
+	return false
+}
+
+// Match reports whether s matches the entire pattern.
+func (p Pattern) Match(s string) bool {
+	return matchHere(p, 0, s, 0)
+}
+
+// matchHere matches p[pi:] against s[si:] with backtracking on '*'.
+func matchHere(p Pattern, pi int, s string, si int) bool {
+	for pi < len(p.text) {
+		c := p.text[pi]
+		magic := p.isMagic(pi)
+		switch {
+		case magic && c == '*':
+			// Collapse consecutive stars, then try all splits.
+			for pi < len(p.text) && p.isMagic(pi) && p.text[pi] == '*' {
+				pi++
+			}
+			if pi == len(p.text) {
+				return true
+			}
+			for k := si; k <= len(s); k++ {
+				if matchHere(p, pi, s, k) {
+					return true
+				}
+			}
+			return false
+		case magic && c == '?':
+			if si >= len(s) {
+				return false
+			}
+			si++
+			pi++
+		case magic && c == '[':
+			ok, next := matchClass(p, pi, s, si)
+			if !ok {
+				return false
+			}
+			si++
+			pi = next
+		default:
+			if si >= len(s) || s[si] != c {
+				return false
+			}
+			si++
+			pi++
+		}
+	}
+	return si == len(s)
+}
+
+// matchClass matches the class starting at p.text[pi] == '[' against
+// s[si]; it returns whether it matched and the index just past ']'.
+// A malformed class (no closing bracket) matches a literal '['.
+func matchClass(p Pattern, pi int, s string, si int) (bool, int) {
+	end := classEnd(p, pi)
+	if end < 0 {
+		// No closing bracket: treat '[' literally.
+		if si < len(s) && s[si] == '[' {
+			return true, pi + 1
+		}
+		return false, pi + 1
+	}
+	if si >= len(s) {
+		return false, end + 1
+	}
+	c := s[si]
+	i := pi + 1
+	negate := false
+	if i < end && (p.text[i] == '~' || p.text[i] == '^') {
+		negate = true
+		i++
+	}
+	matched := false
+	first := true
+	for i < end {
+		lo := p.text[i]
+		if lo == ']' && !first {
+			break
+		}
+		first = false
+		if i+2 < end && p.text[i+1] == '-' {
+			hi := p.text[i+2]
+			if c >= lo && c <= hi {
+				matched = true
+			}
+			i += 3
+			continue
+		}
+		if c == lo {
+			matched = true
+		}
+		i++
+	}
+	return matched != negate, end + 1
+}
+
+// classEnd finds the index of the ']' closing the class that starts at
+// p.text[pi] == '['; -1 if unterminated.  A ']' immediately after '[' (or
+// after the negation marker) is a literal member.
+func classEnd(p Pattern, pi int) int {
+	i := pi + 1
+	if i < len(p.text) && (p.text[i] == '~' || p.text[i] == '^') {
+		i++
+	}
+	if i < len(p.text) && p.text[i] == ']' {
+		i++
+	}
+	for i < len(p.text) {
+		if p.text[i] == ']' {
+			return i
+		}
+		i++
+	}
+	return -1
+}
+
+// Expand performs filename expansion of a (possibly /-separated) pattern
+// relative to dir (dir is used for relative patterns; "" means the process
+// working directory).  Wildcards never match '/', and '*' and '?' do not
+// match a leading dot, per shell convention.  The result is sorted; if
+// nothing matches, Expand returns nil.
+func Expand(p Pattern, dir string) []string {
+	if !p.HasWild() {
+		return nil
+	}
+	segs, masks := splitPath(p)
+	var prefix string
+	var roots []string
+	if strings.HasPrefix(p.text, "/") {
+		prefix = "/"
+		roots = []string{"/"}
+	} else {
+		if dir == "" {
+			dir = "."
+		}
+		roots = []string{dir}
+	}
+	results := roots
+	names := make([]string, 0)
+	for i, seg := range segs {
+		if seg == "" {
+			continue
+		}
+		segPat := Pattern{text: seg, lit: masks[i]}
+		names = names[:0]
+		if !segPat.HasWild() {
+			// Fixed component: append and keep only existing paths.
+			for _, r := range results {
+				cand := joinPath(r, seg)
+				if _, err := os.Lstat(cand); err == nil {
+					names = append(names, cand)
+				}
+			}
+		} else {
+			for _, r := range results {
+				entries, err := os.ReadDir(r)
+				if err != nil {
+					continue
+				}
+				for _, e := range entries {
+					name := e.Name()
+					if strings.HasPrefix(name, ".") && !strings.HasPrefix(segPat.text, ".") {
+						continue
+					}
+					if segPat.Match(name) {
+						names = append(names, joinPath(r, name))
+					}
+				}
+			}
+		}
+		results = append([]string(nil), names...)
+		if len(results) == 0 {
+			return nil
+		}
+	}
+	// Strip the artificial "./" or dir prefix for relative patterns.
+	out := make([]string, 0, len(results))
+	for _, r := range results {
+		if prefix == "" {
+			r = strings.TrimPrefix(r, roots[0]+string(filepath.Separator))
+		}
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func joinPath(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + string(filepath.Separator) + name
+}
+
+// splitPath splits a pattern on literal or magic '/' into segments with
+// their masks.
+func splitPath(p Pattern) ([]string, [][]bool) {
+	mask := p.mask()
+	var segs []string
+	var masks [][]bool
+	start := 0
+	for i := 0; i <= len(p.text); i++ {
+		if i == len(p.text) || p.text[i] == '/' {
+			segs = append(segs, p.text[start:i])
+			masks = append(masks, mask[start:i])
+			start = i + 1
+		}
+	}
+	return segs, masks
+}
+
+// MatchCapture matches s against the entire pattern and returns the text
+// each unquoted wildcard consumed, in pattern order ('*' greedy).  ok is
+// false if s does not match.  This backs the ~~ extraction command.
+func (p Pattern) MatchCapture(s string) (captures []string, ok bool) {
+	return captureHere(p, 0, s, 0)
+}
+
+func captureHere(p Pattern, pi int, s string, si int) ([]string, bool) {
+	if pi >= len(p.text) {
+		if si == len(s) {
+			return nil, true
+		}
+		return nil, false
+	}
+	c := p.text[pi]
+	magic := p.isMagic(pi)
+	switch {
+	case magic && c == '*':
+		// Greedy: prefer the longest capture.
+		for k := len(s); k >= si; k-- {
+			if rest, ok := captureHere(p, pi+1, s, k); ok {
+				return append([]string{s[si:k]}, rest...), true
+			}
+		}
+		return nil, false
+	case magic && c == '?':
+		if si >= len(s) {
+			return nil, false
+		}
+		if rest, ok := captureHere(p, pi+1, s, si+1); ok {
+			return append([]string{s[si : si+1]}, rest...), true
+		}
+		return nil, false
+	case magic && c == '[':
+		matched, next := matchClass(p, pi, s, si)
+		if !matched {
+			return nil, false
+		}
+		if rest, ok := captureHere(p, next, s, si+1); ok {
+			return append([]string{s[si : si+1]}, rest...), true
+		}
+		return nil, false
+	default:
+		if si >= len(s) || s[si] != c {
+			return nil, false
+		}
+		return captureHere(p, pi+1, s, si+1)
+	}
+}

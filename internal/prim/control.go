@@ -1,0 +1,267 @@
+package prim
+
+import (
+	"strconv"
+	"strings"
+
+	"es/internal/core"
+)
+
+func registerControl(i *core.Interp) {
+	i.RegisterPrim("if", primIf)
+	i.RegisterPrim("while", primWhile)
+	i.RegisterPrim("forever", primForever)
+	i.RegisterPrim("and", primAnd)
+	i.RegisterPrim("or", primOr)
+	i.RegisterPrim("not", primNot)
+	i.RegisterPrim("result", primResult)
+	i.RegisterPrim("throw", primThrow)
+	i.RegisterPrim("catch", primCatch)
+	i.RegisterPrim("break", primBreak)
+	i.RegisterPrim("return", primReturn)
+	i.RegisterPrim("eval", primEval)
+	i.RegisterPrim("exit", primExit)
+	i.RegisterPrim("exec", primExec)
+	i.RegisterPrim("dot", primDot)
+}
+
+// primIf implements the cond-chain if: alternating {cond} {body} pairs
+// with an optional trailing else body, as used by Figure 3's interactive
+// loop.  The chosen body runs in the caller's tail position.
+func primIf(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	k := 0
+	for ; k+1 < len(args); k += 2 {
+		cond, err := run(i, ctx.NonTail(), args[k], nil)
+		if err != nil {
+			return nil, err
+		}
+		if cond.True() {
+			return run(i, ctx, args[k+1], nil)
+		}
+	}
+	if k < len(args) { // trailing else
+		return run(i, ctx, args[k], nil)
+	}
+	return core.List{}, nil
+}
+
+// primWhile runs {body} while {cond} is true; break stops it.  The result
+// is the last body result.
+func primWhile(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) < 1 {
+		return nil, core.ErrorExc("while: usage: while {cond} {body}")
+	}
+	cond := args[0]
+	var body core.List
+	if len(args) > 1 {
+		body = args[1:]
+	}
+	nt := ctx.NonTail()
+	result := core.True()
+	for {
+		c, err := run(i, nt, cond, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !c.True() {
+			return result, nil
+		}
+		for _, b := range body {
+			r, err := run(i, nt, b, nil)
+			if err != nil {
+				if val, stop := breakValue(err, result); stop {
+					return val, nil
+				}
+				return nil, err
+			}
+			result = r
+		}
+		if len(body) == 0 {
+			// while {cond} with no body: loop on the condition alone.
+			result = c
+		}
+	}
+}
+
+func primForever(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	nt := ctx.NonTail()
+	result := core.True()
+	for {
+		for _, b := range args {
+			r, err := run(i, nt, b, nil)
+			if err != nil {
+				if val, stop := breakValue(err, result); stop {
+					return val, nil
+				}
+				return nil, err
+			}
+			result = r
+		}
+	}
+}
+
+// breakValue reports whether err is a break exception, returning the
+// value it carries (or fallback).
+func breakValue(err error, fallback core.List) (core.List, bool) {
+	e := core.AsException(err)
+	if e == nil || e.Name() != "break" {
+		return nil, false
+	}
+	if len(e.Args) > 1 {
+		return e.Args[1:], true
+	}
+	return fallback, true
+}
+
+// primAnd short-circuits over thunks; the last one runs in tail position.
+func primAnd(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	result := core.True()
+	for k, t := range args {
+		c := ctx.NonTail()
+		if k == len(args)-1 {
+			c = ctx
+		}
+		r, err := run(i, c, t, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !r.True() {
+			return r, nil
+		}
+		result = r
+	}
+	return result, nil
+}
+
+func primOr(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	result := core.False()
+	if len(args) == 0 {
+		return result, nil
+	}
+	for k, t := range args {
+		c := ctx.NonTail()
+		if k == len(args)-1 {
+			c = ctx
+		}
+		r, err := run(i, c, t, nil)
+		if err != nil {
+			return nil, err
+		}
+		if r.True() {
+			return r, nil
+		}
+		result = r
+	}
+	return result, nil
+}
+
+func primNot(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) == 0 {
+		return core.False(), nil
+	}
+	r, err := run(i, ctx.NonTail(), args[0], args[1:])
+	if err != nil {
+		return nil, err
+	}
+	return core.Bool(!r.True()), nil
+}
+
+// primResult returns its arguments: the identity that turns a list into a
+// rich return value.
+func primResult(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	return args, nil
+}
+
+func primThrow(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) == 0 {
+		return nil, core.ErrorExc("throw: missing exception name")
+	}
+	return nil, core.Throw(args)
+}
+
+// primCatch implements `catch @ e args {handler} {body}`: run body; on an
+// exception run handler with the exception's terms; a retry thrown by the
+// handler re-runs body.
+func primCatch(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) < 2 {
+		return nil, core.ErrorExc("catch: usage: catch handler body")
+	}
+	handler, body := args[0], args[1]
+	nt := ctx.NonTail()
+	for {
+		res, err := run(i, nt, body, nil)
+		if err == nil {
+			return res, nil
+		}
+		exc := core.AsException(err)
+		if exc == nil {
+			return nil, err
+		}
+		hres, herr := run(i, nt, handler, exc.Args)
+		if herr != nil {
+			if core.ExcNamed(herr, "retry") {
+				continue
+			}
+			return nil, herr
+		}
+		return hres, nil
+	}
+}
+
+func primBreak(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	return nil, core.Throw(append(core.StrList("break"), args...))
+}
+
+func primReturn(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	return nil, core.Throw(append(core.StrList("return"), args...))
+}
+
+// primEval concatenates its arguments into a command and runs it.
+func primEval(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	src := strings.Join(args.Strings(), " ")
+	return i.RunString(ctx.NonTail(), src)
+}
+
+// primExit terminates the shell.  Under cmd/es this exits the process
+// (the C implementation calls exit(2)); embedded, and in subshells, it
+// raises the exit exception, which subshell frames convert to a status.
+func primExit(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if i.ExitFunc != nil {
+		i.ExitFunc(ExitStatus(args))
+	}
+	return nil, core.Throw(append(core.StrList("exit"), args...))
+}
+
+// ExitStatus converts exit arguments to a process status.
+func ExitStatus(args core.List) int {
+	if core.List(args).True() {
+		return 0
+	}
+	if len(args) == 1 {
+		if n, err := strconv.Atoi(args[0].String()); err == nil && n >= 0 && n < 256 {
+			return n
+		}
+	}
+	return 1
+}
+
+// primExec runs a command and then exits with its status (the in-process
+// approximation of exec(2)).
+func primExec(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) == 0 {
+		return core.True(), nil
+	}
+	res, err := run(i, ctx.NonTail(), args[0], args[1:])
+	if err != nil {
+		return nil, err
+	}
+	return nil, core.Throw(append(core.StrList("exit"), res...))
+}
+
+// primDot sources a script file: `. file args...` with $* bound to args.
+func primDot(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) == 0 {
+		return nil, core.ErrorExc("usage: . file [args ...]")
+	}
+	return i.RunFile(ctx.NonTail(), args[0].String(), args[1:])
+}

@@ -1,0 +1,130 @@
+package prim
+
+import "es/internal/core"
+
+// initialES is the start-up script.  Like the C implementation — where
+// "much of es's initialization is actually done by an es script, called
+// initial.es, which is converted by a shell script to a C character string
+// at compile time and stored internally" — it is embedded in the binary
+// and establishes the hook bindings, default variables, the path/PATH
+// settor pair, and the default interactive loop (the paper's Figure 3).
+const initialES = `
+# initial.es -- set up the default machinery of es.
+
+# Bind the shell services to their %-prefixed hook variables; the hooks
+# may be spoofed, the $&-primitives may not.
+fn-%and = $&and
+fn-%or = $&or
+fn-%not = $&not
+fn-%pipe = $&pipe
+fn-%create = $&create
+fn-%append = $&append
+fn-%open = $&open
+fn-%here = $&here
+fn-%dup = $&dup
+fn-%close = $&close
+fn-%background = $&background
+fn-%backquote = $&backquote
+fn-%pathsearch = $&pathsearch
+fn-%flatten = $&flatten
+fn-%fsplit = $&fsplit
+fn-%split = $&split
+fn-%count = $&count
+fn-%match = $&match
+fn-%parse = $&parse
+fn-%whatis = $&whatis
+
+# The %prompt hook "is provided for the user to redefine, and by default
+# does nothing."
+fn-%prompt = {}
+
+# Bind the built-in shell functions to their hook variables.
+fn-. = $&dot
+fn-break = $&break
+fn-catch = $&catch
+fn-cd = $&cd
+fn-echo = $&echo
+fn-eval = $&eval
+fn-exec = $&exec
+fn-exit = $&exit
+fn-fork = $&fork
+fn-if = $&if
+fn-result = $&result
+fn-return = $&return
+fn-throw = $&throw
+fn-time = $&time
+fn-wait = $&wait
+fn-whatis = $&whatis
+fn-vars = $&vars
+fn-var = $&var
+fn-while = $&while
+fn-forever = $&forever
+fn-apids = $&apids
+fn-read = $&read
+fn-version = $&version
+fn-primitives = $&primitives
+fn-noexport = $&noexport
+
+# Default word splitting and prompts.  The default prompt "; " is a null
+# command followed by a command separator, so whole lines, including
+# prompts, can be cut and pasted back to the shell for re-execution.
+if {~ $#ifs 0} {ifs = ' ' '	' '
+'}
+if {~ $#prompt 0} {prompt = '; ' ''}
+
+# Settor functions working around UNIX path conventions: the list path and
+# the colon-separated PATH mirror each other.  Each settor temporarily
+# assigns its opposite-case cousin to null before making the assignment to
+# the opposite-case variable; this avoids infinite recursion between the
+# two settor functions.
+set-path = @ {
+	local (set-PATH = )
+		PATH = <>{%flatten : $*}
+	return $*
+}
+set-PATH = @ {
+	local (set-path = )
+		path = <>{%fsplit : $*}
+	return $*
+}
+
+# The default interpreter loop, written in es itself (Figure 3).
+fn %interactive-loop {
+	let (result = 0) {
+		catch @ e msg {
+			if {~ $e eof} {
+				return $result
+			} {~ $e error} {
+				echo >[1=2] $msg
+			} {
+				echo >[1=2] uncaught exception: $e $msg
+			}
+			throw retry
+		} {
+			while {} {
+				%prompt
+				let (cmd = <>{%parse $prompt}) {
+					result = <>{$cmd}
+				}
+			}
+		}
+	}
+}
+`
+
+// syncES runs after the environment has been imported: it pushes imported
+// values through their settors so aliased pairs (path/PATH) agree.
+const syncES = `
+if {!~ $#PATH 0} {
+	PATH = $PATH
+} {!~ $#path 0} {
+	path = $path
+}
+if {~ $#home 0 && !~ $#HOME 0} {home = $HOME}
+`
+
+// RunSync evaluates the post-import synchronization script.
+func RunSync(i *core.Interp, ctx *core.Ctx) error {
+	_, err := i.RunString(ctx, syncES)
+	return err
+}

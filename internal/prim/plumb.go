@@ -1,0 +1,344 @@
+package prim
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"es/internal/core"
+)
+
+func registerPlumbing(i *core.Interp) {
+	i.RegisterPrim("pipe", primPipe)
+	i.RegisterPrim("create", primCreate)
+	i.RegisterPrim("append", primAppend)
+	i.RegisterPrim("open", primOpen)
+	i.RegisterPrim("dup", primDup)
+	i.RegisterPrim("close", primClose)
+	i.RegisterPrim("background", primBackground)
+	i.RegisterPrim("fork", primFork)
+	i.RegisterPrim("backquote", primBackquote)
+	i.RegisterPrim("wait", primWait)
+	i.RegisterPrim("apids", primApids)
+	i.RegisterPrim("read", primRead)
+	i.RegisterPrim("here", primHere)
+}
+
+// primHere is the herestring service: `cmd <<< text` becomes
+// %here 0 text {cmd}, feeding text (with a trailing newline) as input.
+func primHere(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) < 3 {
+		return nil, core.ErrorExc("%here: usage: %here fd text cmd")
+	}
+	fd, err := strconv.Atoi(args[0].String())
+	if err != nil {
+		return nil, core.ErrorExc("%here: bad file descriptor")
+	}
+	text := args[1].String()
+	if !strings.HasSuffix(text, "\n") {
+		text += "\n"
+	}
+	r := strings.NewReader(text)
+	cctx := ctx.NonTail().WithIO(ctx.IO.WithFD(fd, r))
+	return run(i, cctx, args[2], args[3:])
+}
+
+// primPipe runs a flattened pipeline: cmd (outfd infd cmd)...  Every
+// element runs in its own forked interpreter (the in-process analogue of
+// the per-element fork in the C implementation), connected with real
+// pipes so externals and shell functions mix freely.  The result is the
+// final element's result.
+func primPipe(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) == 0 {
+		return core.True(), nil
+	}
+	type elem struct {
+		cmd   core.Term
+		outFd int // descriptor this element writes into the next pipe
+		inFd  int // descriptor the NEXT element reads the pipe from
+	}
+	var elems []elem
+	elems = append(elems, elem{cmd: args[0]})
+	for k := 1; k < len(args); k += 3 {
+		if k+2 > len(args)-1 {
+			return nil, core.ErrorExc("%pipe: malformed pipeline")
+		}
+		outFd, err1 := strconv.Atoi(args[k].String())
+		inFd, err2 := strconv.Atoi(args[k+1].String())
+		if err1 != nil || err2 != nil {
+			return nil, core.ErrorExc("%pipe: bad file descriptor")
+		}
+		elems[len(elems)-1].outFd = outFd
+		elems = append(elems, elem{cmd: args[k+2], inFd: inFd})
+	}
+	if len(elems) == 1 {
+		return run(i, ctx.NonTail(), elems[0].cmd, nil)
+	}
+
+	// Wire n-1 pipes between n elements.
+	ios := make([]*core.IOTable, len(elems))
+	for k := range ios {
+		ios[k] = ctx.IO
+	}
+	type pipeEnds struct{ r, w *os.File }
+	pipes := make([]pipeEnds, len(elems)-1)
+	for k := 0; k < len(elems)-1; k++ {
+		pr, pw, err := os.Pipe()
+		if err != nil {
+			return nil, core.ErrorExc(err.Error())
+		}
+		pipes[k] = pipeEnds{pr, pw}
+		ios[k] = ios[k].WithFD(elems[k].outFd, pw)
+		ios[k+1] = ios[k+1].WithFD(elems[k+1].inFd, pr)
+	}
+
+	var wg sync.WaitGroup
+	results := make([]core.List, len(elems))
+	errs := make([]error, len(elems))
+	for k := range elems {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			child := i.Fork()
+			cctx := &core.Ctx{IO: ios[k]}
+			results[k], errs[k] = child.ApplyTerm(cctx, elems[k].cmd, nil)
+			// Close this element's pipe ends so neighbours see EOF.
+			if k > 0 {
+				pipes[k-1].r.Close()
+			}
+			if k < len(pipes) {
+				pipes[k].w.Close()
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	// Exceptions from pipeline elements cannot propagate out of their
+	// subshell: report them and fail, as the paper laments.  An exit
+	// becomes the element's status, silently.
+	for k, err := range errs {
+		if err != nil {
+			results[k] = subshellResult(ctx, err, "in pipeline")
+		}
+	}
+	return results[len(results)-1], nil
+}
+
+func openRedir(i *core.Interp, ctx *core.Ctx, args core.List, flag int, what string) (core.List, error) {
+	if len(args) < 3 {
+		return nil, core.ErrorExc(what + ": usage: " + what + " fd file cmd")
+	}
+	if len(args) > 3 {
+		return nil, core.ErrorExc(what + ": too many words in redirection (a single name is required)")
+	}
+	fd, err := strconv.Atoi(args[0].String())
+	if err != nil {
+		return nil, core.ErrorExc(what + ": bad file descriptor " + args[0].String())
+	}
+	path := args[1].String()
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(i.Dir(), path)
+	}
+	f, ferr := os.OpenFile(path, flag, 0o666)
+	if ferr != nil {
+		return nil, core.ErrorExc(ferr.Error())
+	}
+	defer f.Close()
+	cctx := ctx.NonTail().WithIO(ctx.IO.WithFD(fd, f))
+	return run(i, cctx, args[2], args[3:])
+}
+
+// primCreate is the service behind `cmd > file`:
+// %create fd file {cmd}.
+func primCreate(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	return openRedir(i, ctx, args, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, "%create")
+}
+
+func primAppend(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	return openRedir(i, ctx, args, os.O_WRONLY|os.O_CREATE|os.O_APPEND, "%append")
+}
+
+func primOpen(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	return openRedir(i, ctx, args, os.O_RDONLY, "%open")
+}
+
+// primDup implements `cmd >[a=b]`: %dup a b {cmd}.
+func primDup(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) < 3 {
+		return nil, core.ErrorExc("%dup: usage: %dup newfd oldfd cmd")
+	}
+	newFd, err1 := strconv.Atoi(args[0].String())
+	oldFd, err2 := strconv.Atoi(args[1].String())
+	if err1 != nil || err2 != nil {
+		return nil, core.ErrorExc("%dup: bad file descriptor")
+	}
+	cctx := ctx.NonTail().WithIO(ctx.IO.WithFD(newFd, ctx.IO.Get(oldFd)))
+	return run(i, cctx, args[2], args[3:])
+}
+
+func primClose(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) < 2 {
+		return nil, core.ErrorExc("%close: usage: %close fd cmd")
+	}
+	fd, err := strconv.Atoi(args[0].String())
+	if err != nil {
+		return nil, core.ErrorExc("%close: bad file descriptor")
+	}
+	cctx := ctx.NonTail().WithIO(ctx.IO.WithFD(fd, nil))
+	return run(i, cctx, args[1], args[2:])
+}
+
+// primBackground starts a job in a forked interpreter; $apid receives the
+// job id, as the C implementation stores the child pid.
+func primBackground(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) == 0 {
+		return core.True(), nil
+	}
+	child := i.Fork()
+	cctx := &core.Ctx{IO: ctx.IO}
+	cmd, rest := args[0], args[1:]
+	stderr := ctx.Stderr()
+	id := i.StartJob(func() core.List {
+		res, err := child.ApplyTerm(cctx, cmd, rest)
+		if err != nil {
+			return subshellResultTo(stderr, err, "in background job")
+		}
+		return res
+	})
+	i.SetVarRaw("apid", core.StrList(strconv.Itoa(id)))
+	return core.True(), nil
+}
+
+// primFork runs its arguments in a subshell: state changes are isolated
+// and exceptions cannot propagate — "a message is printed on exit from
+// the subshell and a false exit status is returned".  A bare `fork` (the
+// paper's "run the rest in a subshell" idiom) cannot be expressed
+// in-process and is a no-op here; see DESIGN.md.
+func primFork(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) == 0 {
+		return core.True(), nil
+	}
+	child := i.Fork()
+	res, err := child.ApplyTerm(ctx.NonTail(), args[0], args[1:])
+	if err != nil {
+		return subshellResult(ctx, err, "in subshell"), nil
+	}
+	return res, nil
+}
+
+// subshellResult converts a subshell's terminal error into its status: an
+// exit exception becomes the status it carries; anything else is the
+// paper's "a message is printed on exit from the subshell and a false
+// exit status is returned".
+func subshellResult(ctx *core.Ctx, err error, where string) core.List {
+	return subshellResultTo(ctx.Stderr(), err, where)
+}
+
+func subshellResultTo(stderr io.Writer, err error, where string) core.List {
+	if e := core.AsException(err); e != nil && e.Name() == "exit" {
+		return core.StrList(strconv.Itoa(ExitStatus(e.Args[1:])))
+	}
+	io.WriteString(stderr, "es: uncaught exception "+where+": "+err.Error()+"\n")
+	return core.False()
+}
+
+// primBackquote runs a fragment in a subshell with its output captured,
+// then splits it on $ifs — the service behind `{cmd}.
+func primBackquote(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) == 0 {
+		return nil, core.ErrorExc("%backquote: missing command")
+	}
+	ifs := " \t\n"
+	if v := i.Var("ifs"); v != nil {
+		ifs = v.Flatten("")
+	}
+	child := i.Fork()
+	var buf bytes.Buffer
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(&buf, pr)
+		done <- err
+	}()
+	cctx := ctx.NonTail().WithIO(ctx.IO.WithFD(1, pw))
+	_, err := child.ApplyTerm(cctx, args[0], args[1:])
+	pw.Close()
+	<-done
+	if err != nil {
+		if core.AsException(err) != nil {
+			return nil, err
+		}
+		return nil, core.ErrorExc(err.Error())
+	}
+	return core.StrList(splitIfs(buf.String(), ifs)...), nil
+}
+
+// splitIfs splits on any ifs character, dropping empty fields, as shells
+// do for command substitution.
+func splitIfs(s, ifs string) []string {
+	if ifs == "" {
+		if s == "" {
+			return nil
+		}
+		return []string{strings.TrimSuffix(s, "\n")}
+	}
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return strings.ContainsRune(ifs, r)
+	})
+}
+
+// primWait waits for a background job: `wait [id]`.
+func primWait(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) == 0 {
+		_, res, ok := i.WaitAny()
+		if !ok {
+			return nil, core.ErrorExc("wait: no processes to wait for")
+		}
+		return res, nil
+	}
+	id, err := strconv.Atoi(args[0].String())
+	if err != nil {
+		return nil, core.ErrorExc("wait: bad process id " + args[0].String())
+	}
+	res, ok := i.WaitJob(id)
+	if !ok {
+		return nil, core.ErrorExc("wait: unknown process " + args[0].String())
+	}
+	return res, nil
+}
+
+func primApids(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	ids := i.JobIDs()
+	out := make([]string, len(ids))
+	for k, id := range ids {
+		out[k] = strconv.Itoa(id)
+	}
+	return core.StrList(out...), nil
+}
+
+// primRead reads one line from standard input, returning it as a single
+// term; at end of input it throws eof.
+func primRead(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	var line []byte
+	buf := make([]byte, 1)
+	r := ctx.Stdin()
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if buf[0] == '\n' {
+				return core.StrList(string(line)), nil
+			}
+			line = append(line, buf[0])
+		}
+		if err != nil {
+			if len(line) > 0 {
+				return core.StrList(string(line)), nil
+			}
+			return nil, core.Throw(core.StrList("eof"))
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package prim provides the standard $& primitives of es and the
+// initial.es start-up script that binds them to their %-prefixed hook
+// functions.
+//
+// "%create is not really the built-in file redirection service.  It is a
+// hook to the primitive $&create, which itself cannot be overridden.  That
+// means that it is always possible to access the underlying shell service,
+// even when its hook has been reassigned."
+package prim
+
+import (
+	"es/internal/core"
+)
+
+// Register installs the full standard primitive set into an interpreter.
+func Register(i *core.Interp) {
+	registerControl(i)
+	registerPlumbing(i)
+	registerWords(i)
+	registerServices(i)
+}
+
+// RunInitial evaluates the embedded initial.es script, establishing the
+// hook bindings, the default prompt, and the path/PATH settor pair.
+func RunInitial(i *core.Interp, ctx *core.Ctx) error {
+	_, err := i.RunString(ctx, initialES)
+	return err
+}
+
+// run applies a term (usually a thunk) to trailing arguments, without
+// establishing a return boundary: `return` inside an if branch or a catch
+// handler unwinds past the primitive to the enclosing function.
+func run(i *core.Interp, ctx *core.Ctx, t core.Term, rest core.List) (core.List, error) {
+	return i.Call(ctx, t, rest)
+}

@@ -1,0 +1,236 @@
+package prim
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"es/internal/core"
+	"es/internal/proc"
+	"es/internal/syntax"
+)
+
+// Version identifies this implementation in $&version.
+const Version = "es-go 0.9 (reproduction of Haahr & Rakitzis, USENIX W'93)"
+
+func registerServices(i *core.Interp) {
+	i.RegisterPrim("cd", primCd)
+	i.RegisterPrim("pathsearch", primPathsearch)
+	i.RegisterPrim("whatis", primWhatis)
+	i.RegisterPrim("vars", primVars)
+	i.RegisterPrim("var", primVar)
+	i.RegisterPrim("parse", primParse)
+	i.RegisterPrim("time", primTime)
+	i.RegisterPrim("version", primVersion)
+	i.RegisterPrim("primitives", primPrimitives)
+	i.RegisterPrim("noexport", primNoexport)
+	i.RegisterPrim("interactive-loop", primFallbackLoop)
+}
+
+// primCd changes the interpreter's working directory.
+func primCd(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	var dir string
+	switch len(args) {
+	case 0:
+		home := i.Var("home")
+		if len(home) == 0 {
+			return nil, core.ErrorExc("chdir: no home directory")
+		}
+		dir = home[0].String()
+	default:
+		dir = args[0].String()
+	}
+	resolved := dir
+	if !filepath.IsAbs(resolved) {
+		resolved = filepath.Join(i.Dir(), resolved)
+	}
+	resolved = filepath.Clean(resolved)
+	fi, err := os.Stat(resolved)
+	if err != nil {
+		return nil, core.ErrorExc("chdir " + dir + ": No such file or directory")
+	}
+	if !fi.IsDir() {
+		return nil, core.ErrorExc("chdir " + dir + ": Not a directory")
+	}
+	i.SetDir(resolved)
+	return core.True(), nil
+}
+
+// primPathsearch looks a program up in $path; it is the service behind
+// the %pathsearch hook that Figure 2 replaces with a caching version.
+func primPathsearch(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) == 0 {
+		return nil, core.ErrorExc("usage: %pathsearch program")
+	}
+	name := args[0].String()
+	if strings.ContainsRune(name, '/') {
+		return core.StrList(name), nil
+	}
+	dirs := i.Var("path").Strings()
+	if file, ok := proc.Lookup(name, dirs); ok {
+		return core.StrList(file), nil
+	}
+	return nil, core.ErrorExc(name + ": not found")
+}
+
+// primWhatis prints how each name would be interpreted: the environment
+// encoding of its fn- definition (the paper's `whatis foo` →
+// `%closure(a=b)@ * {echo $a}`), the $& form for builtins, or the path of
+// the external.
+func primWhatis(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	out := ctx.Stdout()
+	status := core.True()
+	for _, t := range args {
+		name := t.String()
+		if fnval := i.Var("fn-" + name); len(fnval) > 0 {
+			io.WriteString(out, core.EncodeValue(fnval)+"\n")
+			continue
+		}
+		if i.Builtin(name) != nil {
+			io.WriteString(out, "$&"+name+"\n")
+			continue
+		}
+		found, err := i.CallHook(ctx.NonTail(), "%pathsearch", core.StrList(name))
+		if err != nil || len(found) == 0 {
+			io.WriteString(ctx.Stderr(), name+": not found\n")
+			status = core.False()
+			continue
+		}
+		io.WriteString(out, found.Flatten(" ")+"\n")
+	}
+	return status, nil
+}
+
+// primVars prints the variable table, one name=value per line.
+func primVars(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	out := ctx.Stdout()
+	for _, name := range i.VarNames() {
+		v := i.Var(name)
+		if v == nil {
+			continue
+		}
+		io.WriteString(out, name+"="+core.EncodeValue(v)+"\n")
+	}
+	return core.True(), nil
+}
+
+// primVar returns the values of the named variables (a read that works
+// on computed names).
+func primVar(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	var out core.List
+	for _, t := range args {
+		out = append(out, i.Var(t.String())...)
+	}
+	return out, nil
+}
+
+// primParse prints its first argument to standard error, reads a command
+// — potentially more than one line long, prompting with its second
+// argument for continuations — and returns the parsed command as a
+// closure.  It throws eof when the input source is exhausted.
+func primParse(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if i.Reader == nil {
+		return nil, core.Throw(core.StrList("eof"))
+	}
+	p1, p2 := "", ""
+	if len(args) > 0 {
+		p1 = args[0].String()
+	}
+	if len(args) > 1 {
+		p2 = args[1].String()
+	}
+	stderr := ctx.Stderr()
+	io.WriteString(stderr, p1)
+	var src strings.Builder
+	for {
+		line, err := i.Reader.ReadLine()
+		if err != nil {
+			if src.Len() == 0 {
+				return nil, core.Throw(core.StrList("eof"))
+			}
+			return nil, core.ErrorExc("unexpected end of input")
+		}
+		src.WriteString(line)
+		blk, perr := core.ParseCommand(src.String())
+		if perr == nil {
+			return core.List{core.Term{Closure: &core.Closure{Body: blk}}}, nil
+		}
+		if !syntax.IsIncomplete(perr) {
+			return nil, core.ErrorExc(perr.Error())
+		}
+		src.WriteByte('\n')
+		io.WriteString(stderr, p2)
+	}
+}
+
+// primTime runs a command and reports its real/user/system time on
+// standard error in the paper's format: `2r 0.3u 0.2s cat paper9`.
+func primTime(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) == 0 {
+		return core.True(), nil
+	}
+	label := commandLabel(args)
+	before := proc.Snapshot()
+	res, err := run(i, ctx.NonTail(), args[0], args[1:])
+	real, user, sys := before.Since()
+	fmt.Fprintf(ctx.Stderr(), "%dr %.1fu %.1fs\t%s\n",
+		int(real.Seconds()+0.5), user.Seconds(), sys.Seconds(), label)
+	return res, err
+}
+
+// commandLabel renders a timed command the way the paper prints it: a
+// thunk shows its body, other terms their text.
+func commandLabel(args core.List) string {
+	parts := make([]string, 0, len(args))
+	for _, t := range args {
+		if t.Closure != nil {
+			parts = append(parts, syntax.UnparseBody(t.Closure.Body))
+		} else {
+			parts = append(parts, t.String())
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func primVersion(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	return core.StrList(Version), nil
+}
+
+func primPrimitives(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	names := i.PrimNames()
+	sort.Strings(names)
+	return core.StrList(names...), nil
+}
+
+func primNoexport(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	for _, t := range args {
+		i.SetNoExport(t.String())
+	}
+	return core.True(), nil
+}
+
+// primFallbackLoop is the $& fallback for %interactive-loop so a shell
+// whose hook was deleted still runs: it reads and evaluates commands until
+// eof, printing errors.
+func primFallbackLoop(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	result := core.List{}
+	for {
+		cmd, err := primParse(i, ctx, i.Var("prompt"))
+		if err != nil {
+			if core.ExcNamed(err, "eof") {
+				return result, nil
+			}
+			io.WriteString(ctx.Stderr(), err.Error()+"\n")
+			continue
+		}
+		res, err := run(i, ctx.NonTail(), cmd[0], nil)
+		if err != nil {
+			io.WriteString(ctx.Stderr(), err.Error()+"\n")
+			continue
+		}
+		result = res
+	}
+}

@@ -1,0 +1,240 @@
+package syntax
+
+// The AST.  Parse produces surface nodes; Rewrite lowers the surface sugar
+// (pipes, redirections, background, && and ||, fn definitions) into core
+// forms: calls on %-hook functions, assignments, and the binding forms.
+//
+// Nodes shared by both layers: Word and its Parts, Block, Simple, Assign,
+// Let, Local, For, Match, Not, Lambda.
+// Surface-only nodes eliminated by Rewrite: Pipe, AndOr, Bg, RedirCmd, Fn.
+
+// Cmd is any command node.
+type Cmd interface{ cmd() }
+
+// Part is one component of a Word.
+type Part interface{ part() }
+
+// Word is a (possibly concatenated) word: adjacent parts with no
+// intervening space, or parts joined by '^'.
+type Word struct {
+	Parts []Part
+}
+
+// Lit is literal text.  Quoted text is exempt from globbing.
+type Lit struct {
+	Text   string
+	Quoted bool
+}
+
+// Var is a variable reference: $name, $#name (count), $$name (double
+// dereference), with an optional subscript list $name(i j ...).
+// Name is itself a Word so computed names like $(fn-$func) work.
+type Var struct {
+	Name   *Word
+	Count  bool
+	Double bool
+	Flat   bool // $^name: the value joined into one word
+	Index  []*Word
+}
+
+// Prim is a $&name primitive reference.
+type Prim struct {
+	Name string
+}
+
+// CmdSub is `{...}: run the block, capture its output, split on $ifs.
+type CmdSub struct {
+	Body *Block
+}
+
+// RetSub is <>{...} (also spelled <={...}): run the block and splice its
+// rich return value into the word list.
+type RetSub struct {
+	Body *Block
+}
+
+// LambdaPart is a lambda in word position: @ params {body} or a bare
+// {body} fragment.
+type LambdaPart struct {
+	Lambda *Lambda
+}
+
+// ListPart is a parenthesised word list (a b c), spliced into place.
+type ListPart struct {
+	Words []*Word
+}
+
+// Lambda is a procedure value waiting to happen.  HasParams distinguishes
+// "@ {body}" (declared, zero parameters) from "{body}" (no parameter list:
+// arguments bind to *).
+type Lambda struct {
+	Params    []string
+	HasParams bool
+	Body      *Block
+}
+
+// Block is a brace-enclosed (or top-level) command sequence.
+type Block struct {
+	Cmds []Cmd
+}
+
+// Simple is a command invocation: evaluate the words, apply the first
+// value to the rest.  Redirs is only populated on surface trees; Rewrite
+// folds them into %create/%append/%open/%dup calls.
+type Simple struct {
+	Words  []*Word
+	Redirs []*Redir
+}
+
+// Redir is one surface redirection.
+type Redir struct {
+	Op     RedirOp
+	Fd     int
+	Fd2    int // for RedirDup
+	Target *Word
+}
+
+// Assign is name = values.  Name is a Word (computed targets such as
+// fn-$i = ... are allowed).
+type Assign struct {
+	Name   *Word
+	Values []*Word
+}
+
+// Binding is one name = values pair in let/local/for headers.
+type Binding struct {
+	Name   *Word
+	Values []*Word
+}
+
+// Let lexically binds names around Body.
+type Let struct {
+	Bindings []Binding
+	Body     Cmd
+}
+
+// Local dynamically binds names around Body (old values restored after).
+type Local struct {
+	Bindings []Binding
+	Body     Cmd
+}
+
+// For iterates bindings in parallel over their value lists.
+type For struct {
+	Bindings []Binding
+	Body     Cmd
+}
+
+// Match is ~ subject patterns...
+type Match struct {
+	Subject *Word
+	Pats    []*Word
+}
+
+// MatchExtract is ~~ subject patterns...: like Match, but the result is
+// the text matched by each wildcard of the first pattern that matches.
+type MatchExtract struct {
+	Subject *Word
+	Pats    []*Word
+}
+
+// Not inverts the truth of its command (the paper's ! command).
+type Not struct {
+	Body Cmd
+}
+
+// Surface-only nodes.
+
+// Pipe is left |[LFd=RFd] right.  Fds default to 1 and 0.
+type Pipe struct {
+	Left  Cmd
+	LFd   int
+	RFd   int
+	Right Cmd
+}
+
+// AndOr is && / ||.
+type AndOr struct {
+	Op    Kind // ANDAND or OROR
+	Left  Cmd
+	Right Cmd
+}
+
+// Bg is cmd &.
+type Bg struct {
+	Body Cmd
+}
+
+// RedirCmd attaches redirections to an arbitrary command, e.g. {a;b} > f.
+type RedirCmd struct {
+	Body   Cmd
+	Redirs []*Redir
+}
+
+// Fn is fn name params {body}; sugar for fn-name = @ params {body}.
+// A bare "fn name" (no body) undefines the function.
+type Fn struct {
+	Name   *Word
+	Lambda *Lambda // nil to undefine
+}
+
+func (*Word) part()       {}
+func (*Lit) part()        {}
+func (*Var) part()        {}
+func (*Prim) part()       {}
+func (*CmdSub) part()     {}
+func (*RetSub) part()     {}
+func (*LambdaPart) part() {}
+func (*ListPart) part()   {}
+
+func (*Block) cmd()        {}
+func (*Simple) cmd()       {}
+func (*Assign) cmd()       {}
+func (*Let) cmd()          {}
+func (*Local) cmd()        {}
+func (*For) cmd()          {}
+func (*Match) cmd()        {}
+func (*MatchExtract) cmd() {}
+func (*Not) cmd()          {}
+func (*Pipe) cmd()         {}
+func (*AndOr) cmd()        {}
+func (*Bg) cmd()           {}
+func (*RedirCmd) cmd()     {}
+func (*Fn) cmd()           {}
+
+// LitWord constructs a Word holding unquoted literal text.
+func LitWord(text string) *Word {
+	return &Word{Parts: []Part{&Lit{Text: text}}}
+}
+
+// QuotedWord constructs a Word holding quoted literal text.
+func QuotedWord(text string) *Word {
+	return &Word{Parts: []Part{&Lit{Text: text, Quoted: true}}}
+}
+
+// LambdaWord wraps a lambda as a word.
+func LambdaWord(l *Lambda) *Word {
+	return &Word{Parts: []Part{&LambdaPart{Lambda: l}}}
+}
+
+// BlockLambda wraps a command as a parameterless {…} fragment word.
+func BlockLambda(c Cmd) *Word {
+	b, ok := c.(*Block)
+	if !ok {
+		b = &Block{Cmds: []Cmd{c}}
+	}
+	return LambdaWord(&Lambda{Body: b})
+}
+
+// LitText returns the text of a Word consisting of a single literal part,
+// and whether it is such a word.
+func (w *Word) LitText() (string, bool) {
+	if w == nil || len(w.Parts) != 1 {
+		return "", false
+	}
+	l, ok := w.Parts[0].(*Lit)
+	if !ok {
+		return "", false
+	}
+	return l.Text, true
+}

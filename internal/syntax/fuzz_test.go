@@ -1,0 +1,60 @@
+package syntax
+
+import "testing"
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// unparse to source that re-parses to the same unparsed form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"ls > /tmp/foo",
+		"a | b && c || d &",
+		"fn apply cmd args {for (i = $args) $cmd $i}",
+		"let (x = a; y = b) {echo $x $y}",
+		"catch @ e msg {throw $e} {body}",
+		"echo <>{car <>{cdr $p}} `{date} $#x $$y $^z",
+		"x = ({a} 'q w' $v(1 2) pre$mid.suf)",
+		"~ $subj a* [b-d]? 'lit'",
+		"%pipe {a} 1 0 {b} >[2=1] <<< here",
+		"; ; \n\n # comment\n",
+		"'unterminated",
+		"{unclosed",
+		"$",
+		"a ^^ b",
+		"fn-%x = $&y",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		blk, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		once := UnparseBody(blk)
+		blk2, err := Parse(once)
+		if err != nil {
+			t.Fatalf("unparse of valid program does not re-parse:\n src: %q\nonce: %q\nerr: %v", src, once, err)
+		}
+		twice := UnparseBody(blk2)
+		if once != twice {
+			t.Fatalf("unparse not a fixed point:\n src: %q\nonce: %q\ntwice: %q", src, once, twice)
+		}
+		// The rewriter must accept anything the parser produced.
+		core := UnparseBody(Rewrite(blk).(*Block))
+		if _, err := Parse(core); err != nil {
+			t.Fatalf("core form does not parse:\n src: %q\ncore: %q\nerr: %v", src, core, err)
+		}
+	})
+}
+
+// FuzzLex: the lexer terminates and never panics.
+func FuzzLex(f *testing.F) {
+	f.Add("a $# '>' >[1=2] `{x}")
+	f.Add(">>>>[[[")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, _ := Lex(src)
+		if len(toks) > len(src)+2 {
+			t.Fatalf("token explosion: %d tokens from %d bytes", len(toks), len(src))
+		}
+	})
+}

@@ -1,0 +1,267 @@
+package syntax
+
+import (
+	"strings"
+	"testing"
+)
+
+// parseUnparse parses src and unparses the surface tree.
+func parseUnparse(t *testing.T, src string) string {
+	t.Helper()
+	b, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return UnparseBody(b)
+}
+
+func TestParseSurface(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string // unparsed surface form; "" means identical to src
+	}{
+		{"cd /tmp", ""},
+		{"rm Ex*", ""},
+		{"a; b; c", ""},
+		{"a | b", ""},
+		{"a |[2] b", ""},
+		{"a |[2=3] b", ""},
+		{"a && b", ""},
+		{"a || b", ""},
+		{"! a", ""},
+		{"~ $e error", ""},
+		{"~ $#head 0", ""},
+		{"a &", ""},
+		{"x = foo bar", ""},
+		{"x =", ""},
+		{"mixed = {ls} hello, {wc} world", ""},
+		{"echo $mixed(2) $mixed(4)", ""},
+		{"$mixed(1) | $mixed(3)", ""},
+		{"fn d {date +%y-%m-%d}", ""},
+		{"fn apply cmd args {for (i = $args) $cmd $i}", ""},
+		{"fn rev3 a b c {echo $c $b $a}", ""},
+		{"fn trace", ""},
+		{"@ i {cd $i; rm -f *} /tmp", ""},
+		{"apply @ i {cd $i; rm -f *} /tmp /usr/tmp", ""},
+		{"let (x = bar) echo $x", ""},
+		{"local (x = baz) {echo $x; fn dynamic {echo $x}}", ""},
+		{"let (h = hello; w = world) {hi = {echo $h, $w}}", ""},
+		{"for (i = $args) $cmd $i", ""},
+		{"echo <>{hello-world}", ""},
+		{"echo <>{car <>{cdr <>{cons 1 nil}}}", ""},
+		{"ls > /tmp/foo", ""},
+		{"%create 1 /tmp/foo {ls}", ""},
+		{"echo >[1=2] in $dir: $msg", "echo in $dir: $msg >[1=2]"},
+		{"cat < in > out", "cat < in > out"},
+		{"a >> log", "a >> log"},
+		{"silly-command = {echo hi}", ""},
+		{"$silly-command", ""},
+		{"fn-echon = @ args {echo -n $args}", ""},
+		{"title `{pwd}", ""},
+		{"throw error 'usage: in dir cmd'", ""},
+		{"catch @ e args {handler} {body}", ""},
+		{"if {~ $#dir 0} {throw error usage}", ""},
+		{"echo $$var", ""},
+		{"set-$var = @ {return $*}", ""},
+		{"let (old = $(fn-$func)) fn $func args {echo calling $func $args; $old $args}", ""},
+		{"path-cache = $path-cache $prog", ""},
+		{"fn-$prog = $file", ""},
+		{"x = a^b", "x = a^b"},
+		{"echo (a b c)", ""},
+		{"a\nb", "a; b"},
+		{"ps aux | grep '^byron' |\nawk '{print $2}' | xargs kill -9",
+			"ps aux | grep '^byron' | awk '{print $2}' | xargs kill -9"},
+		{"while {} {%prompt}", ""},
+		{"echo hi # comment", "echo hi"},
+		{";", ""},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		got := parseUnparse(t, tt.src)
+		want := tt.want
+		if want == "" {
+			want = tt.src
+		}
+		// empty-program cases
+		if tt.src == ";" || tt.src == "" {
+			want = ""
+		}
+		if got != want {
+			t.Errorf("Parse(%q) unparsed to %q, want %q", tt.src, got, want)
+		}
+	}
+}
+
+// Unparsed surface output must re-parse to the same unparsed output
+// (idempotence of the round trip).
+func TestUnparseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"cd /tmp",
+		"a | b && c | d",
+		"fn apply cmd args {for (i = $args) $cmd $i}",
+		"let (old = $(fn-$func)) fn $func args {echo calling $func $args; $old $args}",
+		"catch @ e msg {if {~ $e error} {echo >[1=2] in $dir: $msg} {throw $e $msg}} {cd $dir; $cmd}",
+		"fn %interactive-loop {let (result = 0) {catch @ e msg {if {~ $e eof} {return $result} {~ $e error} {echo >[1=2] $msg} {echo >[1=2] uncaught exception: $e $msg}; throw retry} {while {} {%prompt; let (cmd = <>{%parse $prompt}) {result = <>{$cmd}}}}}}",
+		"ls > /tmp/foo >> x < y >[2=1]",
+		"echo 'a''b' c^d e$f",
+		"x = ({a} {b}) last",
+	}
+	for _, src := range srcs {
+		once := parseUnparse(t, src)
+		twice := parseUnparse(t, once)
+		if once != twice {
+			t.Errorf("round trip not idempotent:\n src: %s\nonce: %s\ntwice: %s", src, once, twice)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		src        string
+		incomplete bool
+	}{
+		{"{a; b", true},
+		{"'oops", true},
+		{"let (x = a", true},
+		{"@ i", true},
+		{"echo <>{", true},
+		{"fn", true},
+		{"a | ", true},
+		{"(a b", true},
+		{"a }", false},
+		{"a ) b", false},
+		{"= b", false},
+		{"$", true},
+		{"echo $mixed(", true},
+	}
+	for _, tt := range tests {
+		_, err := Parse(tt.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", tt.src)
+			continue
+		}
+		if IsIncomplete(err) != tt.incomplete {
+			t.Errorf("Parse(%q): incomplete = %v, want %v (err: %v)", tt.src, IsIncomplete(err), tt.incomplete, err)
+		}
+	}
+}
+
+func TestParseLambdaShapes(t *testing.T) {
+	b, err := Parse("@ a b {echo}; {echo}; @ {echo}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Cmds) != 3 {
+		t.Fatalf("got %d cmds", len(b.Cmds))
+	}
+	get := func(c Cmd) *Lambda {
+		s := c.(*Simple)
+		return s.Words[0].Parts[0].(*LambdaPart).Lambda
+	}
+	l0 := get(b.Cmds[0])
+	if !l0.HasParams || len(l0.Params) != 2 || l0.Params[0] != "a" {
+		t.Errorf("lambda 0: %+v", l0)
+	}
+	l1 := get(b.Cmds[1])
+	if l1.HasParams || len(l1.Params) != 0 {
+		t.Errorf("lambda 1: %+v", l1)
+	}
+	l2 := get(b.Cmds[2])
+	if !l2.HasParams || len(l2.Params) != 0 {
+		t.Errorf("lambda 2: %+v", l2)
+	}
+}
+
+func TestParseAssignDetection(t *testing.T) {
+	b, err := Parse("x=foo bar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := b.Cmds[0].(*Assign)
+	if !ok {
+		t.Fatalf("got %T, want *Assign", b.Cmds[0])
+	}
+	name, _ := a.Name.LitText()
+	if name != "x" || len(a.Values) != 2 {
+		t.Errorf("assign = %s with %d values", name, len(a.Values))
+	}
+}
+
+func TestParseWordConcat(t *testing.T) {
+	b, err := Parse("echo fn-$func a^b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b.Cmds[0].(*Simple)
+	if len(s.Words) != 3 {
+		t.Fatalf("got %d words, want 3", len(s.Words))
+	}
+	w := s.Words[1]
+	if len(w.Parts) != 2 {
+		t.Fatalf("fn-$func has %d parts, want 2", len(w.Parts))
+	}
+	if _, ok := w.Parts[0].(*Lit); !ok {
+		t.Errorf("part 0 is %T", w.Parts[0])
+	}
+	if _, ok := w.Parts[1].(*Var); !ok {
+		t.Errorf("part 1 is %T", w.Parts[1])
+	}
+	w = s.Words[2]
+	if len(w.Parts) != 2 {
+		t.Fatalf("a^b has %d parts, want 2", len(w.Parts))
+	}
+}
+
+func TestParseMultilineFunction(t *testing.T) {
+	src := `fn echo-nl head tail {
+	if {!~ $#head 0} {
+		echo $head
+		echo-nl $tail
+	}
+}`
+	b, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := b.Cmds[0].(*Fn)
+	if !ok {
+		t.Fatalf("got %T", b.Cmds[0])
+	}
+	if name, _ := fn.Name.LitText(); name != "echo-nl" {
+		t.Errorf("name %q", name)
+	}
+	if len(fn.Lambda.Params) != 2 {
+		t.Errorf("params %v", fn.Lambda.Params)
+	}
+	if len(fn.Lambda.Body.Cmds) != 1 {
+		t.Errorf("body has %d cmds", len(fn.Lambda.Body.Cmds))
+	}
+	inner := fn.Lambda.Body.Cmds[0].(*Simple)
+	if word, _ := inner.Words[0].LitText(); word != "if" {
+		t.Errorf("inner starts with %q", word)
+	}
+}
+
+func TestParsePrompt(t *testing.T) {
+	// The default "; " prompt pastes back as a null command + separator.
+	b, err := Parse("; echo hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Cmds) != 1 {
+		t.Fatalf("got %d cmds, want 1", len(b.Cmds))
+	}
+}
+
+func TestParseBgChain(t *testing.T) {
+	b, err := Parse("sleep 1 & echo done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Cmds) != 1 {
+		t.Fatalf("got %d cmds", len(b.Cmds))
+	}
+	if !strings.Contains(UnparseBody(b), "&") {
+		t.Error("lost the &")
+	}
+}

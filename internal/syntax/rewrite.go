@@ -1,0 +1,220 @@
+package syntax
+
+// Rewrite lowers surface syntax into the paper's core forms.  "In es,
+// almost all standard shell constructs (e.g., pipes and redirection) are
+// translated into a uniform representation: function calls."
+//
+//	a | b          →  %pipe {a} 1 0 {b}
+//	a |[2] b       →  %pipe {a} 2 0 {b}
+//	cmd > f        →  %create 1 f {cmd}
+//	cmd >> f       →  %append 1 f {cmd}
+//	cmd < f        →  %open 0 f {cmd}
+//	cmd >[1=2]     →  %dup 1 2 {cmd}
+//	cmd >[2=]      →  %close 2 {cmd}
+//	cmd &          →  %background {cmd}
+//	a && b         →  %and {a} {b}
+//	a || b         →  %or {a} {b}
+//	`{cmd}         →  (split over $ifs of) <>{%backquote {cmd}}
+//	fn f p {b}     →  fn-f = @ p {b}
+//	fn f           →  fn-f =
+//
+// The rewritten tree contains only Block, Simple, Assign, Let, Local, For,
+// Match and Not command nodes.  Because the targets are ordinary hook
+// functions (fn-%pipe and friends, bound in initial.es), redefining them
+// from the shell changes the behaviour of the corresponding syntax — the
+// paper's "spoofing".
+func Rewrite(c Cmd) Cmd {
+	if c == nil {
+		return nil
+	}
+	switch c := c.(type) {
+	case *Block:
+		out := &Block{Cmds: make([]Cmd, 0, len(c.Cmds))}
+		for _, sub := range c.Cmds {
+			out.Cmds = append(out.Cmds, Rewrite(sub))
+		}
+		return out
+	case *Simple:
+		out := &Simple{Words: rewriteWords(c.Words)}
+		if len(c.Redirs) > 0 {
+			return rewriteRedirs(out, c.Redirs)
+		}
+		return out
+	case *RedirCmd:
+		return rewriteRedirs(Rewrite(c.Body), c.Redirs)
+	case *Assign:
+		return &Assign{Name: rewriteWord(c.Name), Values: rewriteWords(c.Values)}
+	case *Let:
+		return &Let{Bindings: rewriteBindings(c.Bindings), Body: Rewrite(c.Body)}
+	case *Local:
+		return &Local{Bindings: rewriteBindings(c.Bindings), Body: Rewrite(c.Body)}
+	case *For:
+		return &For{Bindings: rewriteBindings(c.Bindings), Body: Rewrite(c.Body)}
+	case *Match:
+		return &Match{Subject: rewriteWord(c.Subject), Pats: rewriteWords(c.Pats)}
+	case *MatchExtract:
+		return &MatchExtract{Subject: rewriteWord(c.Subject), Pats: rewriteWords(c.Pats)}
+	case *Not:
+		return &Not{Body: Rewrite(c.Body)}
+	case *Pipe:
+		return rewritePipe(c)
+	case *AndOr:
+		hook := "%and"
+		if c.Op == OROR {
+			hook = "%or"
+		}
+		// Flatten chains of the same operator into one call.
+		words := []*Word{LitWord(hook)}
+		words = append(words, andOrOperands(c, c.Op)...)
+		return &Simple{Words: words}
+	case *Bg:
+		return &Simple{Words: []*Word{LitWord("%background"), thunk(c.Body)}}
+	case *Fn:
+		nm := rewriteWord(c.Name)
+		var name *Word
+		if lit, ok := nm.Parts[0].(*Lit); ok && !lit.Quoted {
+			rest := append([]Part{&Lit{Text: "fn-" + lit.Text}}, nm.Parts[1:]...)
+			name = &Word{Parts: rest}
+		} else {
+			name = &Word{Parts: append([]Part{&Lit{Text: "fn-"}}, nm.Parts...)}
+		}
+		if c.Lambda == nil {
+			return &Assign{Name: name}
+		}
+		lam := &Lambda{Params: c.Lambda.Params, HasParams: c.Lambda.HasParams, Body: rewriteBlock(c.Lambda.Body)}
+		return &Assign{Name: name, Values: []*Word{LambdaWord(lam)}}
+	}
+	return c
+}
+
+// andOrOperands flattens nested AndOr nodes with the same operator into a
+// thunk list.
+func andOrOperands(c Cmd, op Kind) []*Word {
+	if ao, ok := c.(*AndOr); ok && ao.Op == op {
+		return append(andOrOperands(ao.Left, op), andOrOperands(ao.Right, op)...)
+	}
+	return []*Word{thunk(c)}
+}
+
+// rewritePipe flattens a pipeline into a single %pipe call:
+// a | b | c → %pipe {a} 1 0 {b} 1 0 {c}.
+func rewritePipe(c Cmd) Cmd {
+	words := append([]*Word{LitWord("%pipe")}, pipeOperands(c)...)
+	return &Simple{Words: words}
+}
+
+func pipeOperands(c Cmd) []*Word {
+	if p, ok := c.(*Pipe); ok {
+		left := pipeOperands(p.Left)
+		left = append(left, LitWord(itoa(p.LFd)), LitWord(itoa(p.RFd)))
+		return append(left, pipeOperands(p.Right)...)
+	}
+	return []*Word{thunk(c)}
+}
+
+// rewriteRedirs nests redirection hook calls around a command, first redir
+// outermost (so it is applied first).
+func rewriteRedirs(body Cmd, redirs []*Redir) Cmd {
+	out := body
+	for i := len(redirs) - 1; i >= 0; i-- {
+		r := redirs[i]
+		var words []*Word
+		switch r.Op {
+		case RedirTo:
+			words = []*Word{LitWord("%create"), LitWord(itoa(r.Fd)), rewriteWord(r.Target)}
+		case RedirAppend:
+			words = []*Word{LitWord("%append"), LitWord(itoa(r.Fd)), rewriteWord(r.Target)}
+		case RedirFrom:
+			words = []*Word{LitWord("%open"), LitWord(itoa(r.Fd)), rewriteWord(r.Target)}
+		case RedirHere:
+			words = []*Word{LitWord("%here"), LitWord(itoa(r.Fd)), rewriteWord(r.Target)}
+		case RedirDup:
+			words = []*Word{LitWord("%dup"), LitWord(itoa(r.Fd)), LitWord(itoa(r.Fd2))}
+		case RedirClose:
+			words = []*Word{LitWord("%close"), LitWord(itoa(r.Fd))}
+		}
+		words = append(words, thunk(out))
+		out = &Simple{Words: words}
+	}
+	return out
+}
+
+// thunk wraps a (rewritten) command as a parameterless {…} fragment.
+func thunk(c Cmd) *Word {
+	return BlockLambda(Rewrite(c))
+}
+
+func rewriteBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	return Rewrite(b).(*Block)
+}
+
+func rewriteBindings(bs []Binding) []Binding {
+	out := make([]Binding, len(bs))
+	for i, b := range bs {
+		out[i] = Binding{Name: rewriteWord(b.Name), Values: rewriteWords(b.Values)}
+	}
+	return out
+}
+
+func rewriteWords(ws []*Word) []*Word {
+	out := make([]*Word, len(ws))
+	for i, w := range ws {
+		out[i] = rewriteWord(w)
+	}
+	return out
+}
+
+func rewriteWord(w *Word) *Word {
+	if w == nil {
+		return nil
+	}
+	out := &Word{Parts: make([]Part, len(w.Parts))}
+	for i, part := range w.Parts {
+		out.Parts[i] = rewritePart(part)
+	}
+	return out
+}
+
+func rewritePart(part Part) Part {
+	switch part := part.(type) {
+	case *Var:
+		v := &Var{Name: rewriteWord(part.Name), Count: part.Count, Double: part.Double, Flat: part.Flat}
+		v.Index = rewriteWords(part.Index)
+		return v
+	case *CmdSub:
+		return &CmdSub{Body: rewriteBlock(part.Body)}
+	case *RetSub:
+		return &RetSub{Body: rewriteBlock(part.Body)}
+	case *LambdaPart:
+		l := part.Lambda
+		return &LambdaPart{Lambda: &Lambda{Params: l.Params, HasParams: l.HasParams, Body: rewriteBlock(l.Body)}}
+	case *ListPart:
+		return &ListPart{Words: rewriteWords(part.Words)}
+	}
+	return part
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,148 @@
+package syntax
+
+import "testing"
+
+// rewriteOf parses src, rewrites it, and unparses the core form.
+func rewriteOf(t *testing.T, src string) string {
+	t.Helper()
+	b, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return UnparseBody(Rewrite(b).(*Block))
+}
+
+func TestRewriteCoreForms(t *testing.T) {
+	tests := []struct{ src, want string }{
+		// The paper's flagship example: "ls > /tmp/foo is internally
+		// rewritten as %create 1 /tmp/foo {ls}".
+		{"ls > /tmp/foo", "%create 1 /tmp/foo {ls}"},
+		{"a >> log", "%append 1 log {a}"},
+		{"cat < in", "%open 0 in {cat}"},
+		{"echo >[1=2] oops", "%dup 1 2 {echo oops}"},
+		{"cmd >[2=]", "%close 2 {cmd}"},
+		{"a | b", "%pipe {a} 1 0 {b}"},
+		{"a | b | c", "%pipe {a} 1 0 {b} 1 0 {c}"},
+		{"a |[2] b", "%pipe {a} 2 0 {b}"},
+		{"a |[2=5] b", "%pipe {a} 2 5 {b}"},
+		{"a && b", "%and {a} {b}"},
+		{"a && b && c", "%and {a} {b} {c}"},
+		{"a || b", "%or {a} {b}"},
+		{"a && b || c", "%or {%and {a} {b}} {c}"},
+		{"sleep 3 &", "%background {sleep 3}"},
+		{"fn d {date}", "fn-d = {date}"},
+		{"fn echon args {echo -n $args}", "fn-echon = @ args {echo -n $args}"},
+		{"fn trace", "fn-trace ="},
+		{"fn $func args {$old $args}", "fn-$func = @ args {$old $args}"},
+		{"cat < in > out", "%open 0 in {%create 1 out {cat}}"},
+		{"{a; b} > f", "%create 1 f {{a; b}}"},
+		{"a | b > f", "%pipe {a} 1 0 {%create 1 f {b}}"},
+		{"a > f | b", "%pipe {%create 1 f {a}} 1 0 {b}"},
+		{"! a | b", "%pipe {! a} 1 0 {b}"},
+		{"a & b", "{%background {a}; b}"},
+		// Untouched forms.
+		{"~ $e error", "~ $e error"},
+		{"let (x = a) echo $x", "let (x = a) echo $x"},
+		{"local (x = a) echo $x", "local (x = a) echo $x"},
+		{"for (i = $args) $cmd $i", "for (i = $args) $cmd $i"},
+		{"x = foo", "x = foo"},
+	}
+	for _, tt := range tests {
+		got := rewriteOf(t, tt.src)
+		if got != tt.want {
+			t.Errorf("Rewrite(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+// Rewriting must reach inside lambdas, substitutions and binding bodies.
+func TestRewriteRecurses(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{"fn f {a | b}", "fn-f = {%pipe {a} 1 0 {b}}"},
+		{"x = {a | b}", "x = {%pipe {a} 1 0 {b}}"},
+		{"let (x = {a > f}) $x", "let (x = {%create 1 f {a}}) $x"},
+		{"echo <>{a | b}", "echo <>{%pipe {a} 1 0 {b}}"},
+		{"echo `{a | b}", "echo `{%pipe {a} 1 0 {b}}"},
+		{"if {a && b} {c > f}", "if {%and {a} {b}} {%create 1 f {c}}"},
+		{"for (i = x) a | b", "for (i = x) %pipe {a} 1 0 {b}"},
+	}
+	for _, tt := range tests {
+		got := rewriteOf(t, tt.src)
+		if got != tt.want {
+			t.Errorf("Rewrite(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+// The core form is a fixed point of Rewrite.
+func TestRewriteIdempotent(t *testing.T) {
+	srcs := []string{
+		"ls > /tmp/foo",
+		"a | b | c && d || e &",
+		"fn f a b {x | y > z}",
+		"catch @ e msg {h} {b < f}",
+	}
+	for _, src := range srcs {
+		once := rewriteOf(t, src)
+		twice := rewriteOf(t, once)
+		if once != twice {
+			t.Errorf("Rewrite not idempotent for %q:\nonce:  %s\ntwice: %s", src, once, twice)
+		}
+	}
+}
+
+// Core trees contain no surface-only nodes.
+func TestRewriteEliminatesSurfaceNodes(t *testing.T) {
+	b, err := Parse("a | b && c > f & \n fn g {x | y}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check func(c Cmd)
+	var checkWord func(w *Word)
+	checkWord = func(w *Word) {
+		if w == nil {
+			return
+		}
+		for _, p := range w.Parts {
+			switch p := p.(type) {
+			case *LambdaPart:
+				check(p.Lambda.Body)
+			case *CmdSub:
+				check(p.Body)
+			case *RetSub:
+				check(p.Body)
+			case *ListPart:
+				for _, sub := range p.Words {
+					checkWord(sub)
+				}
+			}
+		}
+	}
+	check = func(c Cmd) {
+		switch c := c.(type) {
+		case *Pipe, *AndOr, *Bg, *RedirCmd, *Fn:
+			t.Errorf("surface node %T survived rewrite", c)
+		case *Block:
+			for _, sub := range c.Cmds {
+				check(sub)
+			}
+		case *Simple:
+			for _, w := range c.Words {
+				checkWord(w)
+			}
+		case *Assign:
+			for _, w := range c.Values {
+				checkWord(w)
+			}
+		case *Let:
+			check(c.Body)
+		case *Local:
+			check(c.Body)
+		case *For:
+			check(c.Body)
+		case *Not:
+			check(c.Body)
+		}
+	}
+	check(Rewrite(b))
+}

@@ -1,0 +1,116 @@
+// Package syntax implements the es shell language: lexer, parser, the
+// surface-to-core rewriter, and the unparser.
+//
+// The language reproduced here is the one described in Haahr & Rakitzis,
+// "Es: A shell with higher-order functions" (Winter USENIX 1993).  The
+// surface syntax is rc-flavoured; the parser produces a small AST which
+// Rewrite lowers into the paper's core forms, where pipes, redirections,
+// background jobs and short-circuit operators are ordinary calls on
+// %-prefixed hook functions.
+package syntax
+
+import "fmt"
+
+// Kind identifies a lexical token.
+type Kind int
+
+// Token kinds.  WORD and QWORD carry text; the rest are punctuation.
+const (
+	EOF Kind = iota
+	NEWLINE
+	WORD    // unquoted word (may contain glob chars)
+	QWORD   // 'single quoted' word
+	SEMI    // ;
+	AMP     // &
+	ANDAND  // &&
+	OROR    // ||
+	PIPE    // | or |[n] or |[n=m]
+	CARET   // ^
+	LPAREN  // (
+	RPAREN  // )
+	LBRACE  // {
+	RBRACE  // }
+	EQUALS  // =
+	AT      // @
+	BANG    // !
+	TILDE   // ~
+	EXTRACT // ~~
+	DOLLAR  // $  (followed by a word, possibly computed)
+	COUNT   // $#
+	DOUBLE  // $$
+	FLAT    // $^
+	PRIM    // $&
+	BQUOTE  // `
+	REDIR   // < > >> with optional [n] or [n=m]
+	RETSUB  // <> or <= introducing {...} return-value substitution
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", NEWLINE: "newline", WORD: "word", QWORD: "quoted word",
+	SEMI: "';'", AMP: "'&'", ANDAND: "'&&'", OROR: "'||'", PIPE: "'|'",
+	CARET: "'^'", LPAREN: "'('", RPAREN: "')'", LBRACE: "'{'", RBRACE: "'}'",
+	EQUALS: "'='", AT: "'@'", BANG: "'!'", TILDE: "'~'", EXTRACT: "'~~'", DOLLAR: "'$'",
+	COUNT: "'$#'", DOUBLE: "'$$'", PRIM: "'$&'", BQUOTE: "'`'",
+	REDIR: "redirection", RETSUB: "'<>'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// RedirOp distinguishes the redirection operators.
+type RedirOp int
+
+const (
+	RedirFrom   RedirOp = iota // < file
+	RedirTo                    // > file
+	RedirAppend                // >> file
+	RedirDup                   // >[n=m]
+	RedirClose                 // >[n=]
+	RedirHere                  // <<< word (herestring)
+)
+
+func (op RedirOp) String() string {
+	switch op {
+	case RedirFrom:
+		return "<"
+	case RedirTo:
+		return ">"
+	case RedirAppend:
+		return ">>"
+	case RedirDup, RedirClose:
+		return ">[n=m]"
+	case RedirHere:
+		return "<<<"
+	}
+	return "redir?"
+}
+
+// Token is one lexical token.  SpaceBefore reports whether whitespace (or a
+// line continuation) separated it from the previous token; the parser uses
+// it to decide word concatenation and subscript adjacency.
+type Token struct {
+	Kind        Kind
+	Text        string // for WORD and QWORD; the body for heredocs
+	Fd          int    // for REDIR and PIPE: primary descriptor (-1 if absent)
+	Fd2         int    // for RedirDup and PIPE [n=m]: second descriptor (-1 if absent)
+	Op          RedirOp
+	Heredoc     bool // RedirHere via << TAG: Text is the literal body
+	Line        int
+	Col         int
+	SpaceBefore bool
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case WORD:
+		return fmt.Sprintf("word(%s)", t.Text)
+	case QWORD:
+		return fmt.Sprintf("qword(%s)", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

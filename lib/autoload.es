@@ -1,0 +1,26 @@
+# autoload.es -- "automatic loading of shell functions", from the paper's
+# list of spoofs in active use.  When a command is not found on $path,
+# look for $autolib/<name>.es; if it exists, source it and return the
+# function it defined.  Stack this under pathcache.es and loaded
+# functions get cached too.
+
+let (search = $fn-%pathsearch) {
+	fn %pathsearch prog {
+		catch @ e msg {
+			if {!~ $e error || ~ $#autolib 0} {
+				throw $e $msg
+			}
+			let (file = $autolib/$prog.es) {
+				if {test -f $file} {
+					. $file
+					if {!~ $#(fn-$prog) 0} {
+						return $(fn-$prog)
+					}
+				}
+			}
+			throw $e $msg
+		} {
+			$search $prog
+		}
+	}
+}

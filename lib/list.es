@@ -1,0 +1,101 @@
+# list.es -- a functional list library, demonstrating the paper's thesis
+# that higher-order functions turn the shell into a real programming
+# language.  Every function here takes program fragments as arguments and
+# returns rich values.
+#
+#	; . lib/list.es
+#	; map @ x {result $x$x} a b c
+#	(prints nothing; use <>{...} to splice results)
+#	; echo <>{map @ x {result $x$x} a b c}
+#	aa bb cc
+
+# map f list...: apply f to each element, collecting the results.
+fn map f list {
+	let (out = ) {
+		for (x = $list)
+			out = $out <>{$f $x}
+		result $out
+	}
+}
+
+# filter pred list...: keep the elements for which pred is true.
+fn filter pred list {
+	let (out = ) {
+		for (x = $list)
+			if {$pred $x} {
+				out = $out $x
+			}
+		result $out
+	}
+}
+
+# foldl f acc list...: left fold; f takes (acc element) and returns the
+# new accumulator.
+fn foldl f acc list {
+	for (x = $list)
+		acc = <>{$f $acc $x}
+	result $acc
+}
+
+# reverse list...
+fn reverse list {
+	let (out = ) {
+		for (x = $list)
+			out = $x $out
+		result $out
+	}
+}
+
+# member x list...: is x an element?
+fn member x list {
+	let (found = 1) {
+		for (y = $list)
+			if {~ $x $y} {
+				found = 0
+			}
+		result $found
+	}
+}
+
+# zip-with f as bs: pairwise combination of two fragments' results
+# (fragments, because flat lists cannot carry two lists in one call —
+# the same convention the paper's rich returns suggest).
+fn zip-with f as bs {
+	let (xs = <>{$as}; ys = <>{$bs}; out = ) {
+		for (x = $xs; y = $ys)
+			out = $out <>{$f $x $y}
+		result $out
+	}
+}
+
+# iota n: the list 1 2 ... n.
+fn iota n {
+	result `{seq $n}
+}
+
+# each f list...: apply f for side effects; result is the last call's.
+fn each f list {
+	for (x = $list)
+		$f $x
+}
+
+# all pred list... / any pred list...
+fn all pred list {
+	let (ok = 0) {
+		for (x = $list)
+			if {! $pred $x} {
+				ok = 1
+			}
+		result $ok
+	}
+}
+
+fn any pred list {
+	let (ok = 1) {
+		for (x = $list)
+			if {$pred $x} {
+				ok = 0
+			}
+		result $ok
+	}
+}

@@ -1,0 +1,23 @@
+# mkcd.es -- from the paper's list of suggested spoofs: "a version of cd
+# which asks the user whether to create a directory if it does not
+# already exist."  Set cd-create-silently to skip the question (used by
+# scripts and tests).
+
+let (cd = $fn-cd)
+fn cd dir {
+	catch @ e msg {
+		if {!~ $e error || ~ $#dir 0} {
+			throw $e $msg
+		}
+		if {~ $#cd-create-silently 0} {
+			echo -n 'cd: ' $dir ' does not exist; create it? [y/n] ' >[1=2]
+			if {!~ <>{read} y*} {
+				throw $e $msg
+			}
+		}
+		mkdir -p $dir
+		$cd $dir
+	} {
+		$cd $dir
+	}
+}

@@ -1,0 +1,13 @@
+# noclobber.es -- the paper's %create spoof: refuse to overwrite an
+# existing file with >, "similar to the C-shell's 'noclobber' option".
+# The previous definition is captured lexically, so this stacks with
+# other redirection spoofs.
+
+let (create = $fn-%create)
+fn %create fd file cmd {
+	if {test -f $file} {
+		throw error $file exists
+	} {
+		$create $fd $file $cmd
+	}
+}

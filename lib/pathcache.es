@@ -1,0 +1,22 @@
+# pathcache.es -- Figure 2 of the paper: cache the full pathnames of
+# executables by spoofing %pathsearch.  Successful absolute lookups are
+# stored in fn- variables (so command dispatch skips the search entirely)
+# and recorded in $path-cache; recache drops the cache.
+
+let (search = $fn-%pathsearch) {
+	fn %pathsearch prog {
+		let (file = <>{$search $prog}) {
+			if {~ $#file 1 && ~ $file /*} {
+				path-cache = $path-cache $prog
+				fn-$prog = $file
+			}
+			return $file
+		}
+	}
+}
+
+fn recache {
+	for (i = $path-cache)
+		fn-$i =
+	path-cache =
+}

@@ -1,0 +1,14 @@
+# profile.es -- Figure 1 of the paper: time each element of every
+# pipeline by spoofing %pipe, "along the lines of the pipeline profiler
+# suggested by Jon Bentley".  Timing lines appear on standard error in
+# the form `2r 0.3u 0.2s cmd`.
+
+let (pipe = $fn-%pipe) {
+	fn %pipe first out in rest {
+		if {~ $#out 0} {
+			time $first
+		} {
+			$pipe {time $first} $out $in {%pipe $rest}
+		}
+	}
+}

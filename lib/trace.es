@@ -1,0 +1,20 @@
+# trace.es -- the paper's call tracer: redefine each named function to
+# print its name and arguments, then call the previous definition, which
+# is captured in the lexically bound variable old.
+#
+#	; . lib/trace.es
+#	; trace echo-nl
+#	; echo-nl a b c
+#	calling echo-nl a b c
+#	...
+#
+# "Moreover, for debugging purposes, one can use trace on hook functions."
+
+fn trace functions {
+	for (func = $functions)
+		let (old = $(fn-$func))
+			fn $func args {
+				echo calling $func $args
+				$old $args
+			}
+}

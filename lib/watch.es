@@ -1,0 +1,23 @@
+# watch.es -- the paper's settor-variable demonstration: watch installs a
+# set- function for each named variable that reports old and new values
+# on every assignment.
+#
+#	; watch x
+#	; x=foo bar
+#	old x =
+#	new x = foo bar
+
+fn watch vars {
+	for (var = $vars) {
+		set-$var = @ {
+			echo old $var '=' $$var
+			echo new $var '=' $*
+			return $*
+		}
+	}
+}
+
+fn unwatch vars {
+	for (var = $vars)
+		set-$var =
+}

@@ -1,0 +1,208 @@
+package es
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// libShell builds a shell with the repository's lib/ scripts reachable.
+func libShell(t *testing.T) (*Shell, *strings.Builder, *strings.Builder) {
+	t.Helper()
+	var out, errw strings.Builder
+	sh, err := New(Options{Stdout: &out, Stderr: &errw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh, &out, &errw
+}
+
+func source(t *testing.T, sh *Shell, lib string) {
+	t.Helper()
+	wd, _ := os.Getwd()
+	if _, err := sh.Run(". " + filepath.Join(wd, "lib", lib)); err != nil {
+		t.Fatalf("source %s: %v", lib, err)
+	}
+}
+
+func TestLibTrace(t *testing.T) {
+	sh, out, _ := libShell(t)
+	source(t, sh, "trace.es")
+	if _, err := sh.Run("fn greet who {echo hi $who}; trace greet; greet tester"); err != nil {
+		t.Fatal(err)
+	}
+	want := "calling greet tester\nhi tester\n"
+	if out.String() != want {
+		t.Errorf("traced output = %q, want %q", out.String(), want)
+	}
+}
+
+func TestLibNoclobber(t *testing.T) {
+	sh, _, _ := libShell(t)
+	dir := t.TempDir()
+	if _, err := sh.Run("cd " + dir); err != nil {
+		t.Fatal(err)
+	}
+	source(t, sh, "noclobber.es")
+	if _, err := sh.Run("echo v1 > f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Run("echo v2 > f"); err == nil {
+		t.Fatal("noclobber did not refuse")
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "f"))
+	if string(data) != "v1\n" {
+		t.Errorf("f = %q", data)
+	}
+}
+
+func TestLibPathcache(t *testing.T) {
+	sh, _, _ := libShell(t)
+	dir := t.TempDir()
+	tool := filepath.Join(dir, "cachedtool")
+	if err := os.WriteFile(tool, []byte("#!/bin/true\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sh.Set("path", dir)
+	source(t, sh, "pathcache.es")
+	if _, err := sh.Run("whatis cachedtool >[1=]"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Get("fn-cachedtool").Flatten(""); got != tool {
+		t.Errorf("fn-cachedtool = %q", got)
+	}
+	if _, err := sh.Run("recache"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Get("fn-cachedtool"); len(got) != 0 {
+		t.Errorf("cache not dropped: %v", got)
+	}
+}
+
+func TestLibProfile(t *testing.T) {
+	sh, out, errw := libShell(t)
+	source(t, sh, "profile.es")
+	if _, err := sh.Run("echo data | cat"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "data\n" {
+		t.Errorf("pipeline output = %q", out.String())
+	}
+	if strings.Count(errw.String(), "\n") != 2 {
+		t.Errorf("want 2 timing lines, got %q", errw.String())
+	}
+}
+
+func TestLibWatch(t *testing.T) {
+	sh, out, _ := libShell(t)
+	source(t, sh, "watch.es")
+	if _, err := sh.Run("watch v; v = one two"); err != nil {
+		t.Fatal(err)
+	}
+	want := "old v =\nnew v = one two\n"
+	if out.String() != want {
+		t.Errorf("watch output = %q, want %q", out.String(), want)
+	}
+	// unwatch removes the settor.
+	out.Reset()
+	if _, err := sh.Run("unwatch v; v = three"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "" {
+		t.Errorf("unwatch left settor active: %q", out.String())
+	}
+}
+
+func TestLibAutoload(t *testing.T) {
+	sh, out, _ := libShell(t)
+	autolib := t.TempDir()
+	script := "fn lazily-loaded {echo loaded on demand}\n"
+	if err := os.WriteFile(filepath.Join(autolib, "lazily-loaded.es"), []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sh.Set("autolib", autolib)
+	sh.Set("path") // nothing on the real path
+	source(t, sh, "autoload.es")
+	if _, err := sh.Run("lazily-loaded"); err != nil {
+		t.Fatalf("autoload failed: %v", err)
+	}
+	if out.String() != "loaded on demand\n" {
+		t.Errorf("autoloaded output = %q", out.String())
+	}
+	// Unknown commands still fail.
+	if _, err := sh.Run("never-defined-anywhere"); err == nil {
+		t.Error("missing command should still throw")
+	}
+}
+
+func TestLibMkcd(t *testing.T) {
+	sh, _, _ := libShell(t)
+	root := t.TempDir()
+	sh.Run("cd " + root)
+	source(t, sh, "mkcd.es")
+	sh.Set("cd-create-silently", "1")
+	if _, err := sh.Run("cd brand/new/dir"); err != nil {
+		t.Fatalf("mkcd: %v", err)
+	}
+	want := filepath.Join(root, "brand/new/dir")
+	if sh.Interp().Dir() != want {
+		t.Errorf("dir = %q, want %q", sh.Interp().Dir(), want)
+	}
+	// Existing directories keep working.
+	if _, err := sh.Run("cd " + root); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLibList(t *testing.T) {
+	sh, sout, _ := libShell(t)
+	source(t, sh, "list.es")
+	out := func() string { s := sout.String(); sout.Reset(); return s }
+	run := func(src string) string {
+		sout.Reset()
+		if _, err := sh.Run(src); err != nil {
+			t.Fatalf("Run(%q): %v", src, err)
+		}
+		return out()
+	}
+	tests := []struct{ src, want string }{
+		{"echo <>{map @ x {result $x$x} a b c}", "aa bb cc\n"},
+		{"echo <>{map @ x {result '<'$x'>'} solo}", "<solo>\n"},
+		{"echo <>{filter @ x {~ $x [aeiou]} q a z e}", "a e\n"},
+		{"echo <>{foldl @ acc x {result $acc$x} '' 1 2 3}", "123\n"},
+		{"echo <>{reverse 1 2 3}", "3 2 1\n"},
+		{"echo <>{iota 4}", "1 2 3 4\n"},
+		{"echo <>{zip-with @ a b {result $a^-^$b} {result 1 2} {result x y}}", "1-x 2-y\n"},
+	}
+	for _, tt := range tests {
+		if got := run(tt.src); got != tt.want {
+			t.Errorf("%q = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+	boolTests := []struct {
+		src  string
+		want bool
+	}{
+		{"member b a b c", true},
+		{"member q a b c", false},
+		{"all @ x {~ $x [0-9]} 1 2 3", true},
+		{"all @ x {~ $x [0-9]} 1 x 3", false},
+		{"any @ x {~ $x x} 1 x 3", true},
+		{"any @ x {~ $x x} 1 2 3", false},
+	}
+	for _, tt := range boolTests {
+		res, err := sh.Run(tt.src)
+		if err != nil {
+			t.Errorf("%q: %v", tt.src, err)
+			continue
+		}
+		if res.True() != tt.want {
+			t.Errorf("%q = %v, want %v", tt.src, res.True(), tt.want)
+		}
+	}
+	// Composition with closures from other lib functions.
+	if got := run("echo <>{map @ x {result $x} <>{filter @ x {! ~ $x b} a b c}}"); got != "a c\n" {
+		t.Errorf("compose = %q", got)
+	}
+}

@@ -1,0 +1,374 @@
+package es
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// newTestShell builds a shell with captured output.
+func newTestShell(t *testing.T) (*Shell, *bytes.Buffer, *bytes.Buffer) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	sh, err := New(Options{Stdout: &out, Stderr: &errw})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return sh, &out, &errw
+}
+
+// runOut runs src and returns stdout, failing the test on error.
+func runOut(t *testing.T, sh *Shell, out *bytes.Buffer, src string) string {
+	t.Helper()
+	out.Reset()
+	if _, err := sh.Run(src); err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return out.String()
+}
+
+func TestPaperSimpleCommands(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	got := runOut(t, sh, out, "echo hello, world")
+	if got != "hello, world\n" {
+		t.Errorf("echo: %q", got)
+	}
+}
+
+// "This function takes a command cmd and arguments args and applies the
+// command to each argument in turn."
+func TestPaperApply(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "fn apply cmd args {for (i = $args) $cmd $i}")
+	got := runOut(t, sh, out, "apply echo testing 1.. 2.. 3..")
+	want := "testing\n1..\n2..\n3..\n"
+	if got != want {
+		t.Errorf("apply = %q, want %q", got, want)
+	}
+}
+
+// "es assigns arguments to parameters one-to-one, and any leftovers are
+// assigned to the last parameter."
+func TestPaperRev3(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "fn rev3 a b c {echo $c $b $a}")
+	if got := runOut(t, sh, out, "rev3 1 2 3 4 5"); got != "3 4 5 2 1\n" {
+		t.Errorf("rev3 1 2 3 4 5 = %q", got)
+	}
+	// "If there are fewer arguments than parameters, es leaves the
+	// leftover parameters null."
+	if got := runOut(t, sh, out, "rev3 1"); got != "1\n" {
+		t.Errorf("rev3 1 = %q", got)
+	}
+}
+
+// Inline lambdas as arguments: apply @ i {...} /tmp /usr/tmp.
+func TestPaperInlineLambda(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "fn apply cmd args {for (i = $args) $cmd $i}")
+	got := runOut(t, sh, out, "apply @ i {echo visiting $i} /tmp /usr/tmp")
+	want := "visiting /tmp\nvisiting /usr/tmp\n"
+	if got != want {
+		t.Errorf("apply lambda = %q, want %q", got, want)
+	}
+}
+
+// "these two es commands are entirely equivalent":
+// fn echon args {echo -n $args}  /  fn-echon = @ args {echo -n $args}
+func TestPaperFnIsAssignment(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "fn echon args {echo -n $args}")
+	a := runOut(t, sh, out, "echon x y")
+	runOut(t, sh, out, "fn-echon = @ args {echo -n $args}")
+	b := runOut(t, sh, out, "echon x y")
+	if a != "x y" || b != "x y" {
+		t.Errorf("echon: %q / %q", a, b)
+	}
+}
+
+// "it is always possible to execute the contents of any variable by
+// dereferencing it explicitly with a dollar sign."
+func TestPaperSillyCommand(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "silly-command = {echo hi}")
+	if got := runOut(t, sh, out, "$silly-command"); got != "hi\n" {
+		t.Errorf("$silly-command = %q", got)
+	}
+}
+
+// Variables can mix program fragments and strings; subscripting with
+// $mixed(2), and running $mixed(1) as a command.
+func TestPaperMixedVariable(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "mixed = {echo first} hello, {echo third} world")
+	if got := runOut(t, sh, out, "echo $mixed(2) $mixed(4)"); got != "hello, world\n" {
+		t.Errorf("subscripts = %q", got)
+	}
+	if got := runOut(t, sh, out, "$mixed(1)"); got != "first\n" {
+		t.Errorf("$mixed(1) = %q", got)
+	}
+}
+
+// Lexical binding with let; closures capture enclosing values.
+func TestPaperLetCapture(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "let (h=hello; w=world) {hi = {echo $h, $w}}")
+	if got := runOut(t, sh, out, "$hi"); got != "hello, world\n" {
+		t.Errorf("$hi = %q", got)
+	}
+}
+
+// The paper's lexical-vs-dynamic binding demonstration.
+func TestPaperLexicalVsDynamic(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "x = foo")
+	got := runOut(t, sh, out, "let (x = bar) {echo $x; fn lexical {echo $x}}")
+	if got != "bar\n" {
+		t.Errorf("let echo = %q", got)
+	}
+	if got := runOut(t, sh, out, "lexical"); got != "bar\n" {
+		t.Errorf("lexical = %q", got)
+	}
+	got = runOut(t, sh, out, "local (x = baz) {echo $x; fn dynamic {echo $x}}")
+	if got != "baz\n" {
+		t.Errorf("local echo = %q", got)
+	}
+	if got := runOut(t, sh, out, "dynamic"); got != "foo\n" {
+		t.Errorf("dynamic = %q", got)
+	}
+}
+
+// Settor variables: the paper's watch function.
+func TestPaperWatchSettor(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, `
+fn watch vars {
+	for (var = $vars) {
+		set-$var = @ {
+			echo old $var '=' $$var
+			echo new $var '=' $*
+			return $*
+		}
+	}
+}`)
+	runOut(t, sh, out, "watch x")
+	got := runOut(t, sh, out, "x=foo bar")
+	if got != "old x =\nnew x = foo bar\n" {
+		t.Errorf("first assignment = %q", got)
+	}
+	got = runOut(t, sh, out, "x=fubar")
+	if got != "old x = foo bar\nnew x = fubar\n" {
+		t.Errorf("second assignment = %q", got)
+	}
+}
+
+// Rich return values: return any object, accessed with <>{...}.
+func TestPaperRichReturn(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "fn hello-world {return 'hello, world'}")
+	if got := runOut(t, sh, out, "echo <>{hello-world}"); got != "hello, world\n" {
+		t.Errorf("<>{hello-world} = %q", got)
+	}
+	// The modern spelling is accepted too.
+	if got := runOut(t, sh, out, "echo <={hello-world}"); got != "hello, world\n" {
+		t.Errorf("<={hello-world} = %q", got)
+	}
+}
+
+// Hierarchical lists from closures: cons, car, cdr.
+func TestPaperConsCarCdr(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, `
+fn cons a d {
+	return @ f { $f $a $d }
+}
+fn car p { $p @ a d { return $a } }
+fn cdr p { $p @ a d { return $d } }`)
+	got := runOut(t, sh, out, "echo <>{car <>{cdr <>{cons 1 <>{cons 2 <>{cons 3 nil}}}}}")
+	if got != "2\n" {
+		t.Errorf("car(cdr(list)) = %q, want 2", got)
+	}
+}
+
+// echo-nl and the trace spoof: "The trace function redefines all the
+// functions which are named on its command line."
+func TestPaperTrace(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, `
+fn echo-nl head tail {
+	if {!~ $#head 0} {
+		echo $head
+		echo-nl $tail
+	}
+}`)
+	if got := runOut(t, sh, out, "echo-nl a b c"); got != "a\nb\nc\n" {
+		t.Errorf("echo-nl = %q", got)
+	}
+	runOut(t, sh, out, `
+fn trace functions {
+	for (func = $functions)
+		let (old = $(fn-$func))
+			fn $func args {
+				echo calling $func $args
+				$old $args
+			}
+}`)
+	runOut(t, sh, out, "trace echo-nl")
+	got := runOut(t, sh, out, "echo-nl a b c")
+	want := "calling echo-nl a b c\na\ncalling echo-nl b c\nb\ncalling echo-nl c\nc\ncalling echo-nl\n"
+	if got != want {
+		t.Errorf("traced echo-nl = %q, want %q", got, want)
+	}
+}
+
+// Exceptions: throw and catch, the in function, and error interception.
+func TestPaperThrowCatch(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, `
+fn in dir cmd {
+	if {~ $#dir 0} {
+		throw error 'usage: in dir cmd'
+	}
+	catch @ e msg {
+		if {~ $e error} {
+			echo caught: $msg
+		} {
+			throw $e $msg
+		}
+	} {
+		cd $dir
+		$cmd
+	}
+}`)
+	// Missing argument throws the usage error; uncaught it surfaces as a
+	// Go error.
+	out.Reset()
+	_, err := sh.Run("in")
+	if err == nil || !IsException(err, "error") {
+		t.Fatalf("in with no args: err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "usage: in dir cmd") {
+		t.Errorf("error message = %q", err.Error())
+	}
+	// A bad directory's chdir error is caught by the handler.
+	got := runOut(t, sh, out, "in /nonexistent-dir-xyz {echo never}")
+	if !strings.Contains(got, "caught: chdir /nonexistent-dir-xyz") {
+		t.Errorf("caught message = %q", got)
+	}
+	// A good directory runs the fragment there.
+	got = runOut(t, sh, out, "in / {pwd}")
+	if got != "/\n" {
+		t.Errorf("in / pwd = %q", got)
+	}
+	// cd in the function does not leak when caught... (es subshell
+	// semantics are exercised in fork tests; cd here does persist since
+	// in runs in-process, as the paper's first version also did).
+}
+
+// catch + retry re-runs the body.
+func TestPaperRetry(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	got := runOut(t, sh, out, `
+n = ''
+catch @ e msg {
+	if {~ $n xxx} {echo done} {throw retry}
+} {
+	n = $n^x
+	echo body $n
+	throw error again
+}`)
+	want := "body x\nbody xx\nbody xxx\ndone\n"
+	if got != want {
+		t.Errorf("retry transcript = %q, want %q", got, want)
+	}
+}
+
+// The spoof of %create: the C-shell's noclobber option.
+func TestPaperNoclobberSpoof(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	dir := t.TempDir()
+	runOut(t, sh, out, "cd "+dir)
+	runOut(t, sh, out, `
+let (create = $fn-%create)
+fn %create fd file cmd {
+	if {test -f $file} {
+		throw error $file exists
+	} {
+		$create $fd $file $cmd
+	}
+}`)
+	runOut(t, sh, out, "echo first > foo")
+	if got := runOut(t, sh, out, "cat foo"); got != "first\n" {
+		t.Errorf("foo = %q", got)
+	}
+	out.Reset()
+	_, err := sh.Run("echo second > foo")
+	if err == nil || !IsException(err, "error") || !strings.Contains(err.Error(), "foo exists") {
+		t.Fatalf("noclobber: err = %v", err)
+	}
+	if got := runOut(t, sh, out, "cat foo"); got != "first\n" {
+		t.Errorf("foo after noclobber = %q", got)
+	}
+}
+
+// whatis shows the environment encoding with captured lexical bindings:
+// %closure(a=b)@ * {echo $a}.
+func TestPaperWhatisClosure(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "let (a=b) fn foo {echo $a}")
+	got := runOut(t, sh, out, "whatis foo")
+	if got != "%closure(a=b)@ * {echo $a}\n" {
+		t.Errorf("whatis foo = %q, want %q", got, "%closure(a=b)@ * {echo $a}\n")
+	}
+	if g := runOut(t, sh, out, "foo"); g != "b\n" {
+		t.Errorf("foo = %q", g)
+	}
+}
+
+// Pipes between shell functions and builtins.
+func TestPaperPipeline(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	got := runOut(t, sh, out, "echo banana | tr a-z A-Z")
+	if got != "BANANA\n" {
+		t.Errorf("pipe = %q", got)
+	}
+	got = runOut(t, sh, out, "{echo c; echo a; echo b} | sort | head -2")
+	if got != "a\nb\n" {
+		t.Errorf("pipe chain = %q", got)
+	}
+}
+
+// >[1=2] duplicates stderr onto stdout.
+func TestPaperDupRedirection(t *testing.T) {
+	sh, out, errw := newTestShell(t)
+	runOut(t, sh, out, "echo oops >[1=2]")
+	if out.Len() != 0 || errw.String() != "oops\n" {
+		t.Errorf("dup: out=%q err=%q", out.String(), errw.String())
+	}
+}
+
+// The ! and ~ commands.
+func TestPaperNotAndMatch(t *testing.T) {
+	sh, _, _ := newTestShell(t)
+	for src, want := range map[string]bool{
+		"~ foo foo":    true,
+		"~ foo bar":    false,
+		"~ foo f*":     true,
+		"~ foo 'f*'":   false,
+		"! ~ foo bar":  true,
+		"~ (a b c) b":  true,
+		"~ (a b c) d":  false,
+		"~ foo [fg]oo": true,
+		"!~ $#undef 0": false,
+		"~ /tmp /*":    true,
+	} {
+		res, err := sh.Run(src)
+		if err != nil {
+			t.Errorf("Run(%q): %v", src, err)
+			continue
+		}
+		if res.True() != want {
+			t.Errorf("%q = %v, want %v", src, res.True(), want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package es
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEsSelfTest runs the test suite that is written in es itself
+// (testdata/selftest.es): the language checking the language.
+func TestEsSelfTest(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	sh, errNew := New(Options{Stdout: &out, Stderr: &out})
+	if errNew != nil {
+		t.Fatal(errNew)
+	}
+	// Scratch files are created relative to the shell's directory.
+	if _, err := sh.Run("cd " + t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sh.RunFile(filepath.Join(wd, "testdata", "selftest.es"))
+	if err != nil {
+		t.Fatalf("selftest failed: %v\noutput so far:\n%s", err, out.String())
+	}
+	if !res.True() {
+		t.Fatalf("selftest result %v\n%s", res, out.String())
+	}
+	if !strings.Contains(out.String(), "checks passed") {
+		t.Errorf("missing summary: %q", out.String())
+	}
+	t.Log(strings.TrimSpace(out.String()))
+}
+
+// And through the real binary, for good measure.
+func TestEsSelfTestBinary(t *testing.T) {
+	bin := buildEs(t)
+	wd, _ := os.Getwd()
+	out, err := runCommand(t, bin, filepath.Join(wd, "testdata", "selftest.es"))
+	if err != nil {
+		t.Fatalf("selftest via binary: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "checks passed") {
+		t.Errorf("missing summary: %q", out)
+	}
+}
+
+func runCommand(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = t.TempDir()
+	b, err := cmd.CombinedOutput()
+	return string(b), err
+}

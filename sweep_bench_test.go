@@ -1,0 +1,124 @@
+package es
+
+// Parameter sweeps backing the experiment index: how Figure 1's profiling
+// overhead scales with pipeline length, and how Figure 2's caching win
+// scales with $path length.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// BenchmarkFig1ByElements sweeps pipeline length with and without the
+// timing spoof.
+func BenchmarkFig1ByElements(b *testing.B) {
+	for _, elems := range []int{2, 4, 8} {
+		pipeline := "echo seed"
+		for k := 1; k < elems; k++ {
+			pipeline += " | cat"
+		}
+		for _, spoofed := range []bool{false, true} {
+			name := fmt.Sprintf("elems=%d/spoof=%v", elems, spoofed)
+			b.Run(name, func(b *testing.B) {
+				sh, err := New(Options{Stdout: io.Discard, Stderr: io.Discard})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if spoofed {
+					if _, err := sh.Run(pipeSpoof); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if _, err := sh.Run(pipeline); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig2ByPathLength sweeps the number of directories on $path:
+// cold lookups grow linearly, cached lookups stay flat — the crossover
+// the Figure 2 spoof exists for.
+func BenchmarkFig2ByPathLength(b *testing.B) {
+	for _, ndirs := range []int{8, 32, 128} {
+		for _, cached := range []bool{false, true} {
+			name := fmt.Sprintf("dirs=%d/cached=%v", ndirs, cached)
+			b.Run(name, func(b *testing.B) {
+				sh := pathBenchShell(b, ndirs)
+				if cached {
+					benchRun(b, sh, "whatis benchtool >[1=]")
+				}
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					benchRun(b, sh, "whatis benchtool >[1=]")
+					if !cached {
+						b.StopTimer()
+						benchRun(b, sh, "recache")
+						b.StartTimer()
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTailCallByDepth shows the stack behaviour: with the trampoline
+// the per-iteration cost stays flat; without it each level adds Go stack.
+func BenchmarkTailCallByDepth(b *testing.B) {
+	for _, depth := range []int{100, 400, 1600} {
+		for _, tco := range []bool{true, false} {
+			name := fmt.Sprintf("depth=%d/tco=%v", depth, tco)
+			b.Run(name, func(b *testing.B) {
+				sh := tcoShell(b, !tco, depth)
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					benchRun(b, sh, "drain $big")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEnvDecode measures lazy vs eager decoding of an inherited
+// environment (the startup mechanism of E5).
+func BenchmarkEnvDecode(b *testing.B) {
+	parent, err := New(Options{Stdout: io.Discard, Stderr: io.Discard})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var defs strings.Builder
+	for k := 0; k < 32; k++ {
+		fmt.Fprintf(&defs, "let (c%d = v%d) fn imported%d x {echo $c%d $x}\n", k, k, k, k)
+	}
+	if _, err := parent.Run(defs.String()); err != nil {
+		b.Fatal(err)
+	}
+	env := parent.Interp().ExportEnv()
+
+	b.Run("import-lazy", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			sh, err := New(Options{Environ: env})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = sh
+		}
+	})
+	b.Run("import-and-touch-all", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			sh, err := New(Options{Environ: env})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := 0; k < 32; k++ {
+				sh.Get(fmt.Sprintf("fn-imported%d", k))
+			}
+		}
+	})
+}

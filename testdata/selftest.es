@@ -1,0 +1,187 @@
+# selftest.es -- a test suite for es, written in es.
+#
+# Run with:  es testdata/selftest.es      (or via TestEsSelfTest in Go)
+#
+# assert-eq takes two program fragments and compares their rich return
+# values — lists flatten across argument binding, so fragments are the
+# natural way to pass two lists to one function.  Failures throw; the
+# summary at the end reports the count.
+
+checks =
+
+fn assert label cond {
+	checks = $checks x
+	if {!$cond} {
+		throw error assertion failed: $label
+	}
+}
+
+fn assert-eq label wantf gotf {
+	checks = $checks x
+	let (want = <>{$wantf}; got = <>{$gotf}) {
+		if {!~ $#want $#got} {
+			throw error $label: want $#want values, got $#got
+		}
+		for (w = $want; g = $got) {
+			if {!~ $w $g} {
+				throw error $label: want $w got $g
+			}
+		}
+	}
+}
+
+# ---- lists and words ----
+x = a b c
+assert-eq 'list value' {result a b c} {result $x}
+assert-eq 'count' {result 3} {result $#x}
+assert-eq 'subscript' {result b} {result $x(2)}
+assert-eq 'subscript list' {result c a} {result $x(3 1)}
+assert-eq 'concat distributes' {result a-z b-z c-z} {result $x^-z}
+assert-eq 'pairwise concat' {result ax by} {result (a b)^(x y)}
+y = x
+assert-eq 'double deref' {result a b c} {result $$y}
+assert-eq 'flatten' {result a:b:c} {result <>{%flatten : $x}}
+assert-eq 'fsplit' {result p q r} {result <>{%fsplit / p/q/r}}
+
+# ---- functions and binding ----
+fn rev3 a b c {result $c $b $a}
+assert-eq 'leftover args' {result 3 4 5 2 1} {rev3 1 2 3 4 5}
+assert-eq 'null params vanish' {result 1} {rev3 1}
+fn counted {result $#*}
+assert-eq 'star binding' {result 4} {counted a b c d}
+
+let (n = lexical) {
+	fn get-n {result $n}
+	fn set-n v {n = $v}
+}
+assert-eq 'closure capture' {result lexical} {get-n}
+set-n changed
+assert-eq 'shared lexical mutation' {result changed} {get-n}
+assert 'lexical does not leak' {~ $#n 0}
+
+g = global
+fn read-g {result $g}
+local (g = shadowed) {
+	assert-eq 'dynamic binding seen' {result shadowed} {read-g}
+}
+assert-eq 'dynamic binding restored' {result global} {read-g}
+
+# ---- rich returns and higher-order functions ----
+fn cons a d { return @ f { $f $a $d } }
+fn car p { $p @ a d { return $a } }
+fn cdr p { $p @ a d { return $d } }
+lst = <>{cons 1 <>{cons 2 <>{cons 3 nil}}}
+assert-eq 'car' {result 1} {car $lst}
+assert-eq 'cadr' {result 2} {car <>{cdr $lst}}
+
+fn compose f g { return @ x { $f <>{$g $x} } }
+fn inc n {return $n^i}
+fn wrap s {return '<'^$s^'>'}
+both = <>{compose wrap inc}
+assert-eq 'compose' {result '<vi>'} {$both v}
+
+fn map f list {
+	if {~ $#list 0} {
+		result
+	} {
+		let (head = $list(1)) {
+			result <>{$f $head} <>{map $f $list(2 3 4 5 6 7 8 9)}
+		}
+	}
+}
+assert-eq 'map' {result ai bi ci} {map inc a b c}
+
+# ---- exceptions ----
+caught = no
+catch @ e msg {
+	caught = $e $msg
+} {
+	throw flavour grape soda
+}
+assert-eq 'catch sees args' {result flavour grape soda} {result $caught}
+
+tries =
+junk = <>{catch @ e {
+	if {~ $#tries 3} {result done} {throw retry}
+} {
+	tries = $tries x
+	throw error once more
+}}
+assert-eq 'retry reruns body' {result 3} {result $#tries}
+
+fn thrower {throw error deliberate}
+fn relay {thrower; result not-reached}
+assert-eq 'exceptions unwind calls' {result deliberate} {catch @ e msg {result $msg} {relay}}
+
+assert-eq 'break carries values' {result early} {for (i = a b c) {break early}}
+
+# ---- settors ----
+log =
+set-observed = @ {
+	log = $log $*
+	return $*
+}
+observed = one
+observed = two three
+assert-eq 'settor log' {result one two three} {result $log}
+assert-eq 'settor value' {result two three} {result $observed}
+
+# ---- spoofing ----
+made =
+let (create = $fn-%create) {
+	fn %create fd file cmd {
+		made = $made $file
+		$create $fd $file $cmd
+	}
+}
+echo data > selftest-scratch.a
+echo data > selftest-scratch.b
+assert-eq 'create spoof saw both' {result selftest-scratch.a selftest-scratch.b} {result $made}
+rm -f selftest-scratch.a selftest-scratch.b
+
+# ---- pipes and builtins ----
+assert-eq 'pipe' {result BANANA} {result `{echo banana | tr a-z A-Z}}
+assert-eq 'three stage' {result 2} {result `{{echo b; echo a; echo b} | sort -u | wc -l}}
+assert-eq 'backquote split' {result one two} {result `{echo one two}}
+assert-eq 'redirect round trip' {result saved data} {
+	echo saved data > selftest-scratch.c
+	result `{cat selftest-scratch.c}
+}
+rm -f selftest-scratch.c
+
+# ---- truth ----
+assert 'zero is true' {result 0}
+assert 'empty is true' {result}
+assert 'one is false' {! result 1}
+assert 'and' {%and {result 0} {result 0}}
+assert 'or picks truth' {%or {result 1} {result 0}}
+assert 'not' {! false}
+assert 'match star' {~ abcdef abc*}
+assert 'match class' {~ q [a-z]}
+assert 'quoted star is literal' {! ~ abc 'abc*'}
+
+# ---- the environment encoding, observed from inside ----
+fn probe {result 0}
+assert-eq 'whatis encodes' {result '@ * {result 0}'} {
+	result <>{%flatten ' ' `{whatis probe}}
+}
+let (cap = seen) fn capturing {echo $cap}
+assert-eq 'closure header' {result '%closure(cap=seen)@ * {echo $cap}'} {
+	result <>{%flatten ' ' `{whatis capturing}}
+}
+
+# ---- released-es extensions ----
+assert-eq 'flatten sugar' {result 'a b c'} {result $^x}
+assert-eq 'extract star' {result main} {~~ main.c *.c}
+assert-eq 'extract two' {result left right} {~~ left-right *-*}
+assert 'extract no match is false' {! ~~ main.go *.c}
+assert-eq 'herestring' {result FED} {result `{tr a-z A-Z <<< fed}}
+assert-eq 'heredoc' {result ONE TWO} {result `{tr a-z A-Z << HDOC
+one
+two
+HDOC
+}}
+assert 'pid is set' {!~ $#pid 0}
+
+echo selftest: $#checks checks passed
+result 0

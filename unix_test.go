@@ -1,0 +1,165 @@
+package es
+
+// Tests for the paper's "Interactions with Unix" section: flattening for
+// external programs, descriptor plumbing, signals, and the exit/wait
+// status squeeze.
+
+import (
+	"strings"
+	"testing"
+
+	"es/internal/core"
+)
+
+// "In es, once a construct is surrounded by braces, it can be stored or
+// passed to a program with no fear of mangling": a fragment handed to an
+// external program arrives as its unparsed source, one argv entry.
+func TestFragmentsPassUnmangledToPrograms(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	// A builtin registered like an external: it reports its raw argv.
+	sh.RegisterBuiltin("argv-probe", func(i *Interp, ctx *Ctx, argv []string) int {
+		for _, a := range argv[1:] {
+			ctx.Stdout().Write([]byte("[" + a + "]\n"))
+		}
+		return 0
+	})
+	got := runOut(t, sh, out, "argv-probe {ls | wc} plain @ x {echo $x}")
+	want := "[{%pipe {ls} 1 0 {wc}}]\n[plain]\n[@ x {echo $x}]\n"
+	if got != want {
+		t.Errorf("argv = %q, want %q", got, want)
+	}
+}
+
+// Pipes on non-standard descriptors: |[2] connects stderr to the next
+// element's stdin.
+func TestPipeStderr(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	got := runOut(t, sh, out, "{echo to-stdout; echo to-stderr >[1=2]} |[2] tr a-z A-Z")
+	if !strings.Contains(got, "TO-STDERR") {
+		t.Errorf("stderr pipe = %q", got)
+	}
+	if !strings.Contains(got, "to-stdout") || strings.Contains(got, "TO-STDOUT") {
+		t.Errorf("stdout leaked into the pipe: %q", got)
+	}
+}
+
+// Pipeline state isolation: assignments in pipeline elements do not leak
+// (every element runs in a subshell, as in the C implementation).
+func TestPipelineElementIsolation(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "leak = before; {leak = inside; echo x} | cat")
+	if got := sh.Get("leak").Flatten(""); got != "before" {
+		t.Errorf("pipeline leaked assignment: %q", got)
+	}
+}
+
+// Exceptions cannot propagate out of a pipeline element; "a message is
+// printed ... and a false exit status is returned."
+func TestPipelineExceptionContained(t *testing.T) {
+	sh, out, errw := newTestShell(t)
+	res, err := sh.Run("{throw error inside-pipe} | cat")
+	_ = out
+	if err != nil {
+		t.Fatalf("exception escaped the pipeline: %v", err)
+	}
+	if !strings.Contains(errw.String(), "inside-pipe") {
+		t.Errorf("exception not reported: %q", errw.String())
+	}
+	_ = res
+}
+
+// Signals surface as the signal exception; the Figure 3 loop reports and
+// resumes.
+func TestSignalInInteractiveLoop(t *testing.T) {
+	sh, out, errw := newTestShell(t)
+	// The interrupt arrives while the second command runs: its output is
+	// discarded (as ^C discards the in-flight command), the loop reports
+	// the signal and resumes with the third.
+	lines := []string{"echo before", "echo never-printed", "echo after"}
+	r := &interruptingReader{lines: lines}
+	res, err := sh.Interactive(r)
+	if err != nil {
+		t.Fatalf("Interactive: %v", err)
+	}
+	if out.String() != "before\nafter\n" {
+		t.Errorf("stdout = %q, want before/after only", out.String())
+	}
+	if !strings.Contains(errw.String(), "uncaught exception: signal sigint") {
+		t.Errorf("signal not reported: %q", errw.String())
+	}
+	_ = res
+}
+
+// interruptingReader raises a SIGINT-equivalent between the first and
+// second command.
+type interruptingReader struct {
+	lines []string
+	pos   int
+}
+
+func (r *interruptingReader) ReadLine() (string, error) {
+	if r.pos == 1 {
+		core.Interrupt()
+	}
+	if r.pos >= len(r.lines) {
+		return "", errEOF{}
+	}
+	l := r.lines[r.pos]
+	r.pos++
+	return l, nil
+}
+
+type errEOF struct{}
+
+func (errEOF) Error() string { return "EOF" }
+
+// The %prompt hook is user-redefinable (paper: "provided for the user to
+// redefine, and by default does nothing").
+func TestPromptHookSpoof(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	runOut(t, sh, out, "fn %prompt {echo PROMPT-HOOK}")
+	out.Reset()
+	if _, err := sh.Interactive(&scriptReader{lines: []string{"echo cmd"}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "PROMPT-HOOK\ncmd\nPROMPT-HOOK\n"
+	if out.String() != want {
+		t.Errorf("prompt hook transcript = %q, want %q", out.String(), want)
+	}
+}
+
+// Redirection failures are error exceptions with the system message.
+func TestRedirectionErrors(t *testing.T) {
+	sh, _, _ := newTestShell(t)
+	_, err := sh.Run("echo x > /nonexistent-dir-zz/file")
+	if !IsException(err, "error") {
+		t.Errorf("create error = %v", err)
+	}
+	_, err = sh.Run("cat < /nonexistent-file-zz")
+	if !IsException(err, "error") {
+		t.Errorf("open error = %v", err)
+	}
+	// Bad descriptor numbers are rejected by the primitives.
+	_, err = sh.Run("%create x f {cmd}")
+	if !IsException(err, "error") {
+		t.Errorf("bad fd = %v", err)
+	}
+}
+
+// Background jobs: apid, wait, and result delivery through the job table.
+func TestBackgroundPipelineOfBuiltins(t *testing.T) {
+	sh, out, _ := newTestShell(t)
+	// No buffer resets until the job has been waited for: the background
+	// pipeline owns the output streams until then.
+	if _, err := sh.Run("{echo bg | tr a-z A-Z} &"); err != nil {
+		t.Fatal(err)
+	}
+	apid := sh.Get("apid").Flatten("")
+	if _, err := sh.Run("wait " + apid + "; echo done"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "done") || !strings.Contains(got, "BG") {
+		t.Errorf("background transcript = %q", got)
+	}
+}
