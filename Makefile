@@ -1,0 +1,17 @@
+# Verification tiers: `make check` is the tier-1 floor (build + tests);
+# `make race` adds vet and the race detector; `make bench` runs the
+# dispatch-cache benchmarks that guard the native cache speedups.
+
+.PHONY: check race bench build
+
+build:
+	go build ./...
+
+check:
+	scripts/check.sh
+
+race:
+	scripts/check.sh -race
+
+bench:
+	go test -run=NONE -bench='NativePath|ParseCold|GlobMatch|EnvDecode|AllocUnderLiveRoots' -benchtime=200ms . ./internal/gc ./internal/glob

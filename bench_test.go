@@ -72,7 +72,9 @@ func BenchmarkFig1PipeBaseline(b *testing.B) {
 
 // ---- E2: Figure 2 ----
 
-func pathBenchShell(b *testing.B, ndirs int) *Shell {
+// nativePathShell builds a shell whose $path is ndirs directories with
+// benchtool in the last one — native dispatch only, no es-level spoof.
+func nativePathShell(b *testing.B, ndirs int) *Shell {
 	b.Helper()
 	sh := benchShell(b)
 	root := b.TempDir()
@@ -90,6 +92,12 @@ func pathBenchShell(b *testing.B, ndirs int) *Shell {
 	if err := sh.Set("path", dirs...); err != nil {
 		b.Fatal(err)
 	}
+	return sh
+}
+
+func pathBenchShell(b *testing.B, ndirs int) *Shell {
+	b.Helper()
+	sh := nativePathShell(b, ndirs)
 	benchRun(b, sh, pathCacheSpoof)
 	return sh
 }
@@ -113,6 +121,57 @@ func BenchmarkFig2PathSearchCached(b *testing.B) {
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		benchRun(b, sh, "whatis benchtool >[1=]")
+	}
+}
+
+// ---- native dispatch caches ----
+
+// BenchmarkNativePathSearchCold measures uncached native dispatch: every
+// lookup walks all of $path because $&recache drops the memo each round.
+func BenchmarkNativePathSearchCold(b *testing.B) {
+	sh := nativePathShell(b, 32)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchRun(b, sh, "whatis benchtool >[1=]")
+		b.StopTimer()
+		benchRun(b, sh, "recache")
+		b.StartTimer()
+	}
+}
+
+// BenchmarkNativePathSearchCached measures the same lookup served by the
+// native pathsearch memo inside $&pathsearch — the Figure 2 win without
+// any es-level spoof.
+func BenchmarkNativePathSearchCached(b *testing.B) {
+	sh := nativePathShell(b, 32)
+	benchRun(b, sh, "whatis benchtool >[1=]") // warm the native cache
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchRun(b, sh, "whatis benchtool >[1=]")
+	}
+}
+
+// BenchmarkParseCold measures parsing with the memo flushed each
+// iteration; BenchmarkParse (below) now reports the cached cost.
+func BenchmarkParseCold(b *testing.B) {
+	src := "fn apply cmd args {for (i = $args) $cmd $i}; a | b > f && c"
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		core.FlushParseCache()
+		if _, err := core.ParseCommand(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGlobMatchLoop exercises the compiled-glob cache the way shell
+// loops do: one pattern matched against many subjects, repeatedly.
+func BenchmarkGlobMatchLoop(b *testing.B) {
+	sh := benchShell(b)
+	benchRun(b, sh, "files = a.c b.c c.h d.c e.go f.c g.h h.c")
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		benchRun(b, sh, "for (f = $files) ~ $f *.[ch]")
 	}
 }
 

@@ -34,11 +34,12 @@ func main() {
 
 func run() int {
 	var (
-		command   = flag.String("c", "", "execute `command` and exit")
-		version   = flag.Bool("v", false, "print version and exit")
-		noTCO     = flag.Bool("no-tco", false, "disable tail-call elimination")
-		parseOnly = flag.Bool("n", false, "parse input but do not execute it")
-		protected = flag.Bool("p", false, "protected: do not import function definitions from the environment")
+		command    = flag.String("c", "", "execute `command` and exit")
+		version    = flag.Bool("v", false, "print version and exit")
+		noTCO      = flag.Bool("no-tco", false, "disable tail-call elimination")
+		parseOnly  = flag.Bool("n", false, "parse input but do not execute it")
+		protected  = flag.Bool("p", false, "protected: do not import function definitions from the environment")
+		cacheStats = flag.Bool("cachestats", false, "report native cache hit/miss counters on exit")
 	)
 	flag.Parse()
 
@@ -65,6 +66,12 @@ func run() int {
 	// Interactive exit(2) semantics, like the C implementation.
 	sh.Interp().ExitFunc = os.Exit
 
+	if *cacheStats {
+		// Printed on the way out (not reached if the shell leaves via
+		// $&exit, which calls exit(2) directly).
+		defer printCacheStats(sh)
+	}
+
 	if *version {
 		res, _ := sh.Run("version")
 		fmt.Println(res.Flatten(" "))
@@ -77,7 +84,7 @@ func run() int {
 	signal.Notify(sig, syscall.SIGINT)
 	go func() {
 		for range sig {
-			core.Interrupt()
+			sh.Interp().Interrupt()
 		}
 	}()
 
@@ -88,6 +95,15 @@ func run() int {
 		return report(sh.RunFile(flag.Arg(0), flag.Args()[1:]...))
 	default:
 		return report(sh.Interactive(lineReader{bufio.NewReader(os.Stdin)}))
+	}
+}
+
+// printCacheStats reports the native dispatch caches (path, parse,
+// decode, glob) to standard error, one line per cache.
+func printCacheStats(sh *es.Shell) {
+	fmt.Fprintln(os.Stderr, "es: native cache statistics:")
+	for _, s := range sh.Interp().CacheStats() {
+		fmt.Fprintf(os.Stderr, "  %s\n", s)
 	}
 }
 

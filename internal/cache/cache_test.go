@@ -1,0 +1,85 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHitMissCounters(t *testing.T) {
+	m := NewMap[int]("t", 8)
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	m.Put("a", 1)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	s := m.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Invalidations != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+}
+
+func TestDeleteAndFlushCountInvalidations(t *testing.T) {
+	m := NewMap[int]("t", 8)
+	m.Put("a", 1)
+	m.Put("b", 2)
+	m.Delete("a")
+	m.Delete("missing") // not present: no invalidation
+	m.Flush()
+	s := m.Stats()
+	if s.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", s.Invalidations)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len = %d after flush", m.Len())
+	}
+}
+
+func TestEvictionBoundsSize(t *testing.T) {
+	m := NewMap[int]("t", 16)
+	for k := 0; k < 1000; k++ {
+		m.Put(fmt.Sprintf("k%d", k), k)
+	}
+	if n := m.Len(); n > 16 {
+		t.Fatalf("cache grew past its bound: %d entries", n)
+	}
+}
+
+func TestOverwriteDoesNotEvict(t *testing.T) {
+	m := NewMap[int]("t", 2)
+	m.Put("a", 1)
+	m.Put("b", 2)
+	m.Put("a", 3) // overwrite at capacity must not evict
+	if v, ok := m.Get("a"); !ok || v != 3 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := NewMap[int]("t", 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				key := fmt.Sprintf("k%d", k%32)
+				m.Put(key, g)
+				m.Get(key)
+				if k%50 == 0 {
+					m.Flush()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := m.Stats()
+	if s.Hits+s.Misses != 8*200 {
+		t.Fatalf("lookup count = %d, want %d", s.Hits+s.Misses, 8*200)
+	}
+}

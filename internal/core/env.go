@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"es/internal/cache"
 	"es/internal/syntax"
 )
 
@@ -326,8 +327,53 @@ func (i *Interp) DecodeValue(name, val string) List {
 	return out
 }
 
-// decodeTerm re-parses one encoded term.
+// decodedTerm is one memoized decode attempt (failures are deterministic
+// and worth remembering too: they cost a parse attempt).
+type decodedTerm struct {
+	term Term
+	ok   bool
+}
+
+// decodeCache memoizes decodeTerm by encoded segment.  Keys are
+// content-addressed, so entries never go stale; the cache is process-wide
+// because its payoff is across shells (every New with the same inherited
+// environment re-decodes the same strings — the startup path the paper
+// made lazy, now also made shared).
+var decodeCache = cache.NewMap[decodedTerm]("decode", 1024)
+
+// FlushDecodeCache drops every memoized environment decode.
+func FlushDecodeCache() { decodeCache.Flush() }
+
+// decodeTerm re-parses one encoded term, memoizing the result.  Closures
+// with captured bindings are deep-copied both into and out of the cache:
+// bindings are mutable (assignment to a captured variable updates them in
+// place), so the cache's pristine copy is never handed to a caller and no
+// two variables — or two shells — ever alias a cached *Binding chain.
 func (i *Interp) decodeTerm(seg string) (Term, bool) {
+	if d, ok := decodeCache.Get(seg); ok {
+		return copyDecoded(d.term), d.ok
+	}
+	t, ok := i.decodeTermUncached(seg)
+	decodeCache.Put(seg, decodedTerm{term: copyDecoded(t), ok: ok})
+	return t, ok
+}
+
+// copyDecoded detaches a decoded term from shared mutable state.  Bodies
+// are immutable ASTs and stay shared; only the captured binding chain is
+// duplicated.
+func copyDecoded(t Term) Term {
+	if t.Closure != nil && t.Closure.Env != nil {
+		memo := &forkMemo{
+			bindings: make(map[*Binding]*Binding),
+			closures: make(map[*Closure]*Closure),
+		}
+		t.Closure = copyClosure(t.Closure, memo)
+	}
+	return t
+}
+
+// decodeTermUncached does the actual re-parse of one encoded term.
+func (i *Interp) decodeTermUncached(seg string) (Term, bool) {
 	var env *Binding
 	rest := seg
 	if strings.HasPrefix(seg, "%closure(") {

@@ -3,20 +3,23 @@ package core
 import (
 	"strconv"
 	"strings"
-	"sync/atomic"
 
 	"es/internal/glob"
 	"es/internal/syntax"
 )
 
-// interruptFlag is set asynchronously (e.g. by a SIGINT handler) and
-// converted into a `signal sigint` exception at the next command boundary.
-var interruptFlag atomic.Bool
+// Interrupt requests that this interpreter raise a signal exception at
+// its next command boundary.  "Exceptions ... provide a way for user code
+// to interact with UNIX signals."  The pending flag is per-interpreter
+// (shared with its forks, like a process group): interrupting one embedded
+// Interp does not abort commands running in an unrelated one.
+func (i *Interp) Interrupt() { i.intr.Store(true) }
 
-// Interrupt requests that the interpreter raise a signal exception at the
-// next command boundary.  "Exceptions ... provide a way for user code to
-// interact with UNIX signals."
-func Interrupt() { interruptFlag.Store(true) }
+// ClearInterrupt drops a pending interrupt that no command boundary
+// consumed.  The REPL calls this when it returns to the prompt (%parse),
+// so a SIGINT delivered in the dead time after one command finishes does
+// not stay latched and abort the next, unrelated command.
+func (i *Interp) ClearInterrupt() { i.intr.Store(false) }
 
 // EvalBlock evaluates a command sequence; the result is the last
 // command's result (the empty list — true — for an empty block).  When
@@ -37,7 +40,7 @@ func (i *Interp) EvalBlock(ctx *Ctx, b *syntax.Block, env *Binding) (List, error
 }
 
 func (i *Interp) evalCmd(ctx *Ctx, c syntax.Cmd, env *Binding) (List, error) {
-	if interruptFlag.CompareAndSwap(true, false) {
+	if i.intr.CompareAndSwap(true, false) {
 		return nil, Throw(StrList("signal", "sigint"))
 	}
 	switch c := c.(type) {

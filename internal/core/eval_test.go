@@ -357,7 +357,7 @@ func TestSettorNotTriggeredByLexical(t *testing.T) {
 
 func TestInterruptBecomesSignalException(t *testing.T) {
 	i, ctx, _ := harness(t)
-	core.Interrupt()
+	i.Interrupt()
 	_, err := i.RunString(ctx, "echo hi")
 	if !core.ExcNamed(err, "signal") {
 		t.Errorf("err = %v, want signal exception", err)

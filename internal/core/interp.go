@@ -4,7 +4,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
+	"es/internal/cache"
+	"es/internal/glob"
 	"es/internal/syntax"
 )
 
@@ -46,6 +49,16 @@ type Interp struct {
 	// Alloc records the interpreter's allocation behaviour for the GC
 	// experiments when Trace is enabled.
 	Alloc AllocStats
+
+	// pathCache memoizes successful $path lookups made by $&pathsearch.
+	// It is per-interpreter (a fork may change $path independently) and
+	// invalidated whenever path/PATH is assigned; see CacheStats.
+	pathCache *cache.Map[string]
+
+	// intr is the pending-interrupt line, shared with forks (a subshell
+	// belongs to the same "process group" as its parent) but private to
+	// each independently created interpreter.
+	intr *atomic.Bool
 
 	// Depth guards runaway recursion when TCO is off.
 	depth    int
@@ -131,12 +144,14 @@ func New() *Interp {
 		dir = "/"
 	}
 	return &Interp{
-		vars:     make(map[string]*varSlot),
-		prims:    make(map[string]PrimFunc),
-		builtins: make(map[string]BuiltinFunc),
-		dir:      dir,
-		jobs:     &jobTable{jobs: make(map[int]*job)},
-		maxDepth: 10000,
+		vars:      make(map[string]*varSlot),
+		prims:     make(map[string]PrimFunc),
+		builtins:  make(map[string]BuiltinFunc),
+		dir:       dir,
+		jobs:      &jobTable{jobs: make(map[int]*job)},
+		pathCache: cache.NewMap[string]("path", 512),
+		intr:      new(atomic.Bool),
+		maxDepth:  10000,
 	}
 }
 
@@ -193,6 +208,13 @@ func (i *Interp) Fork() *Interp {
 		NoTailCalls: i.NoTailCalls,
 		maxDepth:    i.maxDepth,
 		Reader:      i.Reader,
+		// A fork may assign $path without the parent seeing the settor
+		// run, so it starts with its own empty path cache; sharing the
+		// parent's would serve answers computed against the wrong $path.
+		pathCache: cache.NewMap[string]("path", 512),
+		// The interrupt line IS shared: a SIGINT aimed at the shell
+		// interrupts its subshells too, like a Unix process group.
+		intr: i.intr,
 	}
 	memo := &forkMemo{
 		bindings: make(map[*Binding]*Binding),
@@ -264,14 +286,66 @@ func copyBindings(b *Binding, memo *forkMemo) *Binding {
 	return dup
 }
 
+// parseCache memoizes ParseCommand results by source text.  The rewritten
+// AST is immutable — Rewrite builds fresh nodes and evaluation only reads
+// them — so one Block is safely shared by every evaluation and every
+// interpreter in the process.  Repeated eval/%parse of the same source
+// (and every startup's initial.es) skips the lexer entirely.
+var parseCache = cache.NewMap[*syntax.Block]("parse", 512)
+
+// maxCachedSrc bounds the source size the parse cache will retain; huge
+// one-off scripts would otherwise pin memory for no repeat benefit.
+const maxCachedSrc = 1 << 14
+
 // ParseCommand parses source into the core representation ready for
-// evaluation.
+// evaluation.  Successful parses of modest sources are memoized.
 func ParseCommand(src string) (*syntax.Block, error) {
+	cacheable := len(src) <= maxCachedSrc
+	if cacheable {
+		if b, ok := parseCache.Get(src); ok {
+			return b, nil
+		}
+	}
 	b, err := syntax.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return syntax.Rewrite(b).(*syntax.Block), nil
+	rw := syntax.Rewrite(b).(*syntax.Block)
+	if cacheable {
+		parseCache.Put(src, rw)
+	}
+	return rw, nil
+}
+
+// FlushParseCache drops every memoized parse (the $&recache escape hatch
+// and the cold-start lever for benchmarks).
+func FlushParseCache() { parseCache.Flush() }
+
+// PathCache exposes the interpreter's pathsearch memo so the pathsearch
+// primitive (package prim) can consult it and tests can observe it.
+func (i *Interp) PathCache() *cache.Map[string] { return i.pathCache }
+
+// FlushCaches drops this interpreter's path cache and the process-wide
+// parse, decode, and glob caches: the native analogue of Figure 2's
+// recache function, bound to $&recache.
+func (i *Interp) FlushCaches() {
+	i.pathCache.Flush()
+	FlushParseCache()
+	FlushDecodeCache()
+	glob.FlushCache()
+}
+
+// CacheStats snapshots every native cache visible to this interpreter, in
+// a fixed order (path, parse, decode, glob).  It is the AllocStats-style
+// observability surface for the dispatch caches, reported by $&cachestats
+// and the es -cachestats flag.
+func (i *Interp) CacheStats() []cache.Stats {
+	return []cache.Stats{
+		i.pathCache.Stats(),
+		parseCache.Stats(),
+		decodeCache.Stats(),
+		glob.CacheStats(),
+	}
 }
 
 // RunString parses and evaluates src, returning its rich result.

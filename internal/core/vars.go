@@ -47,6 +47,7 @@ func (i *Interp) VarNames() []string {
 // settor re-entry, environment import, and dynamic-binding restores when
 // the caller wants raw behaviour).
 func (i *Interp) SetVarRaw(name string, value List) {
+	i.invalidateForAssign(name)
 	if value == nil {
 		delete(i.vars, name)
 		return
@@ -56,6 +57,16 @@ func (i *Interp) SetVarRaw(name string, value List) {
 		return
 	}
 	i.vars[name] = &varSlot{value: value}
+}
+
+// invalidateForAssign keeps the native caches honest across assignments:
+// any write to path or PATH — through the settor round-trip, a raw
+// restore, or an unset — drops the pathsearch memo, exactly as the
+// set-path settor invalidates Figure 2's spoofed cache.
+func (i *Interp) invalidateForAssign(name string) {
+	if name == "path" || name == "PATH" {
+		i.pathCache.Flush()
+	}
 }
 
 // SetNoExport marks a variable as excluded from the environment.
@@ -79,6 +90,7 @@ func (i *Interp) SetVar(ctx *Ctx, name string, value List) error {
 		}
 		value = res
 	}
+	i.invalidateForAssign(name)
 	// Assigning the empty list removes the variable; assigning () keeps
 	// an empty variable.  We follow the simpler rc rule: x = (no values)
 	// leaves x defined but null; only explicit unset (SetVarRaw nil)

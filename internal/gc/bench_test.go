@@ -26,6 +26,30 @@ func BenchmarkAllocConsChain(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocUnderLiveRoots guards the rootset against regressing to
+// O(live roots) per allocation: allocWithRefs pushes and pops two
+// temporary roots around every cons, and RemoveRoot must find them at the
+// tail regardless of how many long-lived roots sit below.  With the old
+// head-first scan this benchmark degraded linearly in the live count.
+func BenchmarkAllocUnderLiveRoots(b *testing.B) {
+	for _, live := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("roots=%d", live), func(b *testing.B) {
+			h := NewHeap(1 << 16)
+			h.Disable() // isolate rootset bookkeeping from collection cost
+			defer h.Enable()
+			slots := make([]Ref, live)
+			for k := range slots {
+				slots[k] = h.String("pinned")
+				h.AddRoot(&slots[k])
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				h.Cons(Nil, Nil)
+			}
+		})
+	}
+}
+
 // Collection cost as a function of live-set size: pause time should be
 // proportional to live data, not heap size — the property that justifies
 // a copying collector for mostly-dead shell heaps.

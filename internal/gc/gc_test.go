@@ -53,6 +53,30 @@ func listStrings(h *Heap, r Ref) []string {
 	return out
 }
 
+// RemoveRoot searches from the tail (LIFO discipline); removal from any
+// position must still work, and a collection afterwards must forward
+// exactly the remaining roots.
+func TestRemoveRootFromAnyPosition(t *testing.T) {
+	h := NewHeap(MinHeap)
+	slots := make([]Ref, 5)
+	for k := range slots {
+		slots[k] = h.String("s")
+		h.AddRoot(&slots[k])
+	}
+	h.RemoveRoot(&slots[2]) // middle
+	h.RemoveRoot(&slots[0]) // head
+	h.RemoveRoot(&slots[4]) // tail
+	h.Collect()
+	for _, k := range []int{1, 3} {
+		if got := h.Str(slots[k]); got != "s" {
+			t.Errorf("surviving root %d = %q", k, got)
+		}
+	}
+	if live := h.Stats().LiveAfterGC; live != 2 {
+		t.Errorf("live after gc = %d, want 2", live)
+	}
+}
+
 func TestCollectPreservesReachable(t *testing.T) {
 	h := NewHeap(128)
 	list := buildList(h, 10)

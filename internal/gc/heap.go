@@ -152,10 +152,15 @@ func (h *Heap) AddRoot(slot *Ref) {
 	h.roots = append(h.roots, slot)
 }
 
-// RemoveRoot unregisters a rootset slot.
+// RemoveRoot unregisters a rootset slot.  Root registration follows a
+// stack discipline — allocWithRefs pushes two roots and pops them
+// immediately, and callers root temporaries around single allocations —
+// so the slot is searched from the tail.  A forward scan here made every
+// allocation O(live roots), which turned alloc-heavy workloads quadratic
+// (see BenchmarkAllocUnderLiveRoots).
 func (h *Heap) RemoveRoot(slot *Ref) {
-	for k, r := range h.roots {
-		if r == slot {
+	for k := len(h.roots) - 1; k >= 0; k-- {
+		if h.roots[k] == slot {
 			h.roots[k] = h.roots[len(h.roots)-1]
 			h.roots = h.roots[:len(h.roots)-1]
 			return

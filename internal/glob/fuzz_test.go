@@ -10,7 +10,13 @@ func FuzzMatch(f *testing.F) {
 	f.Add("[~]]", "]")
 	f.Add("***", "")
 	f.Fuzz(func(t *testing.T, pat, s string) {
-		New(pat).Match(s)
+		p := New(pat)
+		got := p.Match(s)
+		if p.HasWild() {
+			if want := matchHere(p, 0, s, 0); got != want {
+				t.Fatalf("compiled Match(%q, %q) = %v, reference = %v", pat, s, got, want)
+			}
+		}
 		lit := NewLiteral(pat)
 		if !lit.Match(pat) {
 			t.Fatalf("literal %q does not match itself", pat)

@@ -14,6 +14,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"es/internal/cache"
 )
 
 // Pattern is a wildcard pattern with a per-byte literal mask.
@@ -75,12 +77,21 @@ func (p Pattern) HasWild() bool {
 	return false
 }
 
-// Match reports whether s matches the entire pattern.
+// Match reports whether s matches the entire pattern.  Wildcard patterns
+// are compiled once and memoized (see compiledFor): patterns re-evaluated
+// in loops — the common shape of ~ matches and filename expansion — skip
+// re-scanning their classes and literal runs on every subject.
 func (p Pattern) Match(s string) bool {
-	return matchHere(p, 0, s, 0)
+	if !p.HasWild() {
+		// No unquoted wildcard: every byte must match literally.
+		return p.text == s
+	}
+	return compiledFor(p).match(0, s, 0)
 }
 
-// matchHere matches p[pi:] against s[si:] with backtracking on '*'.
+// matchHere matches p[pi:] against s[si:] with backtracking on '*'.  It is
+// the reference implementation: Match runs the compiled form, and the
+// tests check the two agree.
 func matchHere(p Pattern, pi int, s string, si int) bool {
 	for pi < len(p.text) {
 		c := p.text[pi]
@@ -283,6 +294,200 @@ func splitPath(p Pattern) ([]string, [][]bool) {
 		}
 	}
 	return segs, masks
+}
+
+// ---- compiled patterns ----
+//
+// A compiled pattern is a flat op sequence: literal runs are compared with
+// one string comparison, character classes become 256-bit membership sets
+// built once instead of being re-scanned per subject byte, and consecutive
+// stars are collapsed at compile time.  Compilation results are memoized
+// in a process-wide cache keyed by pattern text (plus the literal mask for
+// the rare mixed patterns produced by concatenation), so a pattern matched
+// in a loop compiles exactly once.
+
+type opKind uint8
+
+const (
+	opLit   opKind = iota // compare a literal byte run
+	opStar                // match any sequence
+	opQuest               // match any single byte
+	opClass               // match one byte against a class set
+)
+
+type globOp struct {
+	kind  opKind
+	lit   string
+	class *classSet
+}
+
+// classSet is a 256-bit membership bitmap with optional negation.
+type classSet struct {
+	bits   [32]byte
+	negate bool
+}
+
+func (c *classSet) add(b byte) { c.bits[b>>3] |= 1 << (b & 7) }
+
+func (c *classSet) matches(b byte) bool {
+	in := c.bits[b>>3]&(1<<(b&7)) != 0
+	return in != c.negate
+}
+
+type compiled struct {
+	ops []globOp
+}
+
+// globCache memoizes compiled wildcard patterns.  Compiled forms are pure
+// functions of the pattern, so entries never go stale; the cache is
+// bounded and shared by every interpreter in the process.
+var globCache = cache.NewMap[*compiled]("glob", 512)
+
+// CacheStats snapshots the compiled-pattern cache counters.
+func CacheStats() cache.Stats { return globCache.Stats() }
+
+// FlushCache drops every compiled pattern (the $&recache escape hatch).
+func FlushCache() { globCache.Flush() }
+
+// compiledFor returns the compiled form of p, consulting the cache.
+// Fully-magic patterns (the overwhelmingly common case: any unquoted
+// wildcard word) are keyed by their text alone; patterns with a mixed
+// literal mask — produced only by concatenation like $x^'*' — are
+// compiled uncached, since a collision-proof key would cost more than the
+// compile.
+func compiledFor(p Pattern) *compiled {
+	if !p.allMagic() {
+		return compilePattern(p)
+	}
+	if c, ok := globCache.Get(p.text); ok {
+		return c
+	}
+	c := compilePattern(p)
+	globCache.Put(p.text, c)
+	return c
+}
+
+// allMagic reports whether no byte of the pattern is mask-protected.
+func (p Pattern) allMagic() bool {
+	if p.lit == nil {
+		return true
+	}
+	for _, l := range p.lit {
+		if l {
+			return false
+		}
+	}
+	return true
+}
+
+// compilePattern translates a pattern into ops, mirroring matchHere's
+// semantics exactly (including the malformed-class rule: an unterminated
+// '[' is a literal).
+func compilePattern(p Pattern) *compiled {
+	var ops []globOp
+	var lit []byte
+	flushLit := func() {
+		if len(lit) > 0 {
+			ops = append(ops, globOp{kind: opLit, lit: string(lit)})
+			lit = lit[:0]
+		}
+	}
+	for pi := 0; pi < len(p.text); pi++ {
+		c := p.text[pi]
+		if !p.isMagic(pi) {
+			lit = append(lit, c)
+			continue
+		}
+		switch c {
+		case '*':
+			flushLit()
+			if len(ops) == 0 || ops[len(ops)-1].kind != opStar {
+				ops = append(ops, globOp{kind: opStar})
+			}
+		case '?':
+			flushLit()
+			ops = append(ops, globOp{kind: opQuest})
+		case '[':
+			end := classEnd(p, pi)
+			if end < 0 {
+				lit = append(lit, '[')
+				continue
+			}
+			flushLit()
+			ops = append(ops, globOp{kind: opClass, class: buildClass(p, pi, end)})
+			pi = end
+		default:
+			lit = append(lit, c)
+		}
+	}
+	flushLit()
+	return &compiled{ops: ops}
+}
+
+// buildClass materializes the class starting at p.text[pi] == '[' (closing
+// at end) as a bitmap, with the same member scan as matchClass.
+func buildClass(p Pattern, pi, end int) *classSet {
+	cs := &classSet{}
+	i := pi + 1
+	if i < end && (p.text[i] == '~' || p.text[i] == '^') {
+		cs.negate = true
+		i++
+	}
+	first := true
+	for i < end {
+		lo := p.text[i]
+		if lo == ']' && !first {
+			break
+		}
+		first = false
+		if i+2 < end && p.text[i+1] == '-' {
+			for b := int(lo); b <= int(p.text[i+2]); b++ {
+				cs.add(byte(b))
+			}
+			i += 3
+			continue
+		}
+		cs.add(lo)
+		i++
+	}
+	return cs
+}
+
+// match runs ops[oi:] against s[si:], backtracking on stars.
+func (cp *compiled) match(oi int, s string, si int) bool {
+	ops := cp.ops
+	for oi < len(ops) {
+		op := &ops[oi]
+		switch op.kind {
+		case opLit:
+			if len(s)-si < len(op.lit) || s[si:si+len(op.lit)] != op.lit {
+				return false
+			}
+			si += len(op.lit)
+		case opQuest:
+			if si >= len(s) {
+				return false
+			}
+			si++
+		case opClass:
+			if si >= len(s) || !op.class.matches(s[si]) {
+				return false
+			}
+			si++
+		case opStar:
+			if oi == len(ops)-1 {
+				return true
+			}
+			for k := si; k <= len(s); k++ {
+				if cp.match(oi+1, s, k) {
+					return true
+				}
+			}
+			return false
+		}
+		oi++
+	}
+	return si == len(s)
 }
 
 // MatchCapture matches s against the entire pattern and returns the text

@@ -281,3 +281,111 @@ func TestMatchCaptureConsistencyProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The compiled matcher must agree with the recursive reference
+// implementation on every pattern, including classes, negation, and the
+// malformed-bracket corner cases.  Patterns are drawn from an alphabet
+// rich in glob metacharacters so brackets, ranges, and trailing '[' all
+// come up.
+func TestCompiledAgainstReference(t *testing.T) {
+	alphabet := []byte{'a', 'b', 'c', '*', '?', '[', ']', '~', '^', '-'}
+	f := func(patIdx, sIdx []uint8) bool {
+		var pat, s strings.Builder
+		for _, i := range patIdx {
+			if pat.Len() > 8 {
+				break
+			}
+			pat.WriteByte(alphabet[int(i)%len(alphabet)])
+		}
+		for _, i := range sIdx {
+			if s.Len() > 10 {
+				break
+			}
+			s.WriteByte(alphabet[int(i)%3]) // letters only
+		}
+		p := New(pat.String())
+		if !p.HasWild() {
+			return true // Match short-circuits to string equality
+		}
+		got := compileFresh(p).match(0, s.String(), 0)
+		want := matchHere(p, 0, s.String(), 0)
+		if got != want {
+			t.Logf("pattern %q vs %q: compiled=%v reference=%v", pat.String(), s.String(), got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// compileFresh bypasses the cache so the differential test exercises
+// compilation itself every time.
+func compileFresh(p Pattern) *compiled {
+	return compilePattern(p)
+}
+
+// Concat-produced patterns carry a wildcard mask (literal text may
+// contain metacharacters that must NOT be special); the compiled path
+// must honor it.
+func TestCompiledHonorsMask(t *testing.T) {
+	tests := []struct {
+		lit, wild, s string
+		want         bool
+	}{
+		{"a*b", "*", "a*bXX", true},   // literal star, then real star
+		{"a*b", "*", "aXbYY", false},  // literal star must not match X
+		{"[x]", "?", "[x]q", true},    // literal brackets stay literal
+		{"[x]", "?", "xq", false},     //
+		{"", "[ab]", "a", true},       // class still compiles under Concat
+		{"", "[ab]", "c", false},      //
+	}
+	for _, tc := range tests {
+		p := Concat(NewLiteral(tc.lit), New(tc.wild))
+		if got := p.Match(tc.s); got != tc.want {
+			t.Errorf("Concat(lit %q, %q).Match(%q) = %v, want %v", tc.lit, tc.wild, tc.s, got, tc.want)
+		}
+	}
+}
+
+// Repeated matching of the same all-magic pattern reuses one compiled
+// form; flushing drops it.
+func TestCompiledCacheCounters(t *testing.T) {
+	FlushCache()
+	before := CacheStats()
+	p := New("*.[ch]")
+	p.Match("main.c")
+	p.Match("main.h")
+	p.Match("main.go")
+	after := CacheStats()
+	if after.Misses-before.Misses != 1 {
+		t.Errorf("expected exactly 1 compile miss, got %d", after.Misses-before.Misses)
+	}
+	if after.Hits-before.Hits != 2 {
+		t.Errorf("expected 2 cache hits, got %d", after.Hits-before.Hits)
+	}
+	FlushCache()
+	if CacheStats().Entries != 0 {
+		t.Errorf("flush left %d entries", CacheStats().Entries)
+	}
+}
+
+// The compiled matcher is the fast path Match actually uses; guard the
+// speedup over the recursive reference on a star-heavy pattern.
+func BenchmarkMatchCompiled(b *testing.B) {
+	p := New("*.[ch]")
+	s := "internal/glob/glob_test.c"
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		p.Match(s)
+	}
+}
+
+func BenchmarkMatchReference(b *testing.B) {
+	p := New("*.[ch]")
+	s := "internal/glob/glob_test.c"
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		matchHere(p, 0, s, 0)
+	}
+}

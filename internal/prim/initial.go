@@ -65,6 +65,12 @@ fn-version = $&version
 fn-primitives = $&primitives
 fn-noexport = $&noexport
 
+# Native cache controls: recache drops the interpreter's dispatch caches
+# (a spoofed cache like lib/pathcache.es redefines fn-recache for itself),
+# cachestats returns the hit/miss/invalidation counters.
+fn-recache = $&recache
+fn-cachestats = $&cachestats
+
 # Default word splitting and prompts.  The default prompt "; " is a null
 # command followed by a command separator, so whole lines, including
 # prompts, can be cut and pasted back to the shell for re-execution.

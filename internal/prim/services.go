@@ -19,6 +19,8 @@ const Version = "es-go 0.9 (reproduction of Haahr & Rakitzis, USENIX W'93)"
 func registerServices(i *core.Interp) {
 	i.RegisterPrim("cd", primCd)
 	i.RegisterPrim("pathsearch", primPathsearch)
+	i.RegisterPrim("recache", primRecache)
+	i.RegisterPrim("cachestats", primCacheStats)
 	i.RegisterPrim("whatis", primWhatis)
 	i.RegisterPrim("vars", primVars)
 	i.RegisterPrim("var", primVar)
@@ -61,6 +63,13 @@ func primCd(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 
 // primPathsearch looks a program up in $path; it is the service behind
 // the %pathsearch hook that Figure 2 replaces with a caching version.
+//
+// The primitive now caches natively: successful absolute lookups are
+// memoized per interpreter, invalidated whenever path/PATH is assigned
+// (the settor round-trip) or $&recache runs, and re-verified with one
+// stat on every hit so a deleted binary falls back to a full search.  The
+// hook remains fully spoofable — a user's fn %pathsearch (lib/pathcache.es)
+// replaces this entire primitive, native cache included.
 func primPathsearch(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	if len(args) == 0 {
 		return nil, core.ErrorExc("usage: %pathsearch program")
@@ -69,11 +78,46 @@ func primPathsearch(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, e
 	if strings.ContainsRune(name, '/') {
 		return core.StrList(name), nil
 	}
+	pc := i.PathCache()
+	if file, ok := pc.Get(name); ok {
+		if proc.Executable(file) {
+			return core.StrList(file), nil
+		}
+		pc.Delete(name) // stale: binary vanished since it was cached
+	}
 	dirs := i.Var("path").Strings()
 	if file, ok := proc.Lookup(name, dirs); ok {
+		// Only absolute results are cached: a hit for a relative $path
+		// entry would go wrong the moment the shell changes directory.
+		if filepath.IsAbs(file) {
+			pc.Put(name, file)
+		}
 		return core.StrList(file), nil
 	}
+	// Misses are never cached, so a program installed after a failed
+	// lookup is found immediately.
 	return nil, core.ErrorExc(name + ": not found")
+}
+
+// primRecache drops the native caches: the pathsearch memo plus the
+// process-wide parse, decode, and compiled-glob caches.  It is the native
+// analogue of Figure 2's recache function (which remains free to shadow
+// it: lib/pathcache.es redefines fn-recache for its own spoofed cache).
+func primRecache(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	i.FlushCaches()
+	return core.True(), nil
+}
+
+// primCacheStats returns one term per native cache in the form
+// name:hits:misses:invalidations:entries, the shell-visible face of the
+// counter surface behind es -cachestats.
+func primCacheStats(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	var out core.List
+	for _, s := range i.CacheStats() {
+		out = append(out, core.StrTerm(fmt.Sprintf("%s:%d:%d:%d:%d",
+			s.Name, s.Hits, s.Misses, s.Invalidations, s.Entries)))
+	}
+	return out, nil
 }
 
 // primWhatis prints how each name would be interpreted: the environment
@@ -94,6 +138,12 @@ func primWhatis(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error
 			continue
 		}
 		found, err := i.CallHook(ctx.NonTail(), "%pathsearch", core.StrList(name))
+		if err != nil && !core.ExcNamed(err, "error") {
+			// A spoofed %pathsearch may throw real exceptions — signal,
+			// break, a user's own names — which must unwind, not be
+			// misreported as "not found".
+			return nil, err
+		}
 		if err != nil || len(found) == 0 {
 			io.WriteString(ctx.Stderr(), name+": not found\n")
 			status = core.False()
@@ -135,6 +185,10 @@ func primParse(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error)
 	if i.Reader == nil {
 		return nil, core.Throw(core.StrList("eof"))
 	}
+	// Back at the prompt: an interrupt that fired after the previous
+	// command's last boundary check has no command left to abort; without
+	// this it would stay latched and kill the next, unrelated command.
+	i.ClearInterrupt()
 	p1, p2 := "", ""
 	if len(args) > 0 {
 		p1 = args[0].String()

@@ -113,14 +113,16 @@ func Lookup(name string, dirs []string) (string, bool) {
 			dir = "."
 		}
 		cand := dir + "/" + name
-		if isExecutable(cand) {
+		if Executable(cand) {
 			return cand, true
 		}
 	}
 	return "", false
 }
 
-func isExecutable(path string) bool {
+// Executable reports whether path names an executable non-directory; the
+// pathsearch cache uses it to re-verify memoized lookups.
+func Executable(path string) bool {
 	fi, err := os.Stat(path)
 	if err != nil || fi.IsDir() {
 		return false

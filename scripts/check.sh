@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh - repository verification tiers.
+#
+#   tier 1 (default): go build + go test, the floor every change must hold
+#   tier 2 (-race):   adds go vet and the race detector over the full suite
+#
+# Usage: scripts/check.sh [-race]
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go test ./..."
+go test ./...
+
+if [ "${1:-}" = "-race" ]; then
+	echo "== go vet ./..."
+	go vet ./...
+	echo "== go test -race ./..."
+	go test -race ./...
+fi
+echo "ok"

@@ -9,6 +9,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"es/internal/core"
 )
 
 // BenchmarkFig1ByElements sweeps pipeline length with and without the
@@ -68,6 +70,31 @@ func BenchmarkFig2ByPathLength(b *testing.B) {
 	}
 }
 
+// BenchmarkNativePathByLength sweeps $path length for the NATIVE
+// pathsearch memo (no es-level spoof): cold lookups grow with the number
+// of directories, cached lookups stay flat — the same crossover as
+// Figure 2, now built into $&pathsearch.
+func BenchmarkNativePathByLength(b *testing.B) {
+	for _, ndirs := range []int{8, 32, 128} {
+		for _, cached := range []bool{false, true} {
+			name := fmt.Sprintf("dirs=%d/cached=%v", ndirs, cached)
+			b.Run(name, func(b *testing.B) {
+				sh := nativePathShell(b, ndirs)
+				benchRun(b, sh, "whatis benchtool >[1=]")
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if !cached {
+						b.StopTimer()
+						benchRun(b, sh, "recache")
+						b.StartTimer()
+					}
+					benchRun(b, sh, "whatis benchtool >[1=]")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTailCallByDepth shows the stack behaviour: with the trampoline
 // the per-iteration cost stays flat; without it each level adds Go stack.
 func BenchmarkTailCallByDepth(b *testing.B) {
@@ -112,6 +139,20 @@ func BenchmarkEnvDecode(b *testing.B) {
 	})
 	b.Run("import-and-touch-all", func(b *testing.B) {
 		for n := 0; n < b.N; n++ {
+			sh, err := New(Options{Environ: env})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := 0; k < 32; k++ {
+				sh.Get(fmt.Sprintf("fn-imported%d", k))
+			}
+		}
+	})
+	// The same workload with the process-wide decode memo dropped each
+	// round: the before/after pair for the native decode cache.
+	b.Run("import-and-touch-all-cold", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			core.FlushDecodeCache()
 			sh, err := New(Options{Environ: env})
 			if err != nil {
 				b.Fatal(err)

@@ -76,7 +76,7 @@ func TestSignalInInteractiveLoop(t *testing.T) {
 	// discarded (as ^C discards the in-flight command), the loop reports
 	// the signal and resumes with the third.
 	lines := []string{"echo before", "echo never-printed", "echo after"}
-	r := &interruptingReader{lines: lines}
+	r := &interruptingReader{lines: lines, interp: sh.Interp()}
 	res, err := sh.Interactive(r)
 	if err != nil {
 		t.Fatalf("Interactive: %v", err)
@@ -93,13 +93,14 @@ func TestSignalInInteractiveLoop(t *testing.T) {
 // interruptingReader raises a SIGINT-equivalent between the first and
 // second command.
 type interruptingReader struct {
-	lines []string
-	pos   int
+	lines  []string
+	pos    int
+	interp *core.Interp
 }
 
 func (r *interruptingReader) ReadLine() (string, error) {
 	if r.pos == 1 {
-		core.Interrupt()
+		r.interp.Interrupt()
 	}
 	if r.pos >= len(r.lines) {
 		return "", errEOF{}
