@@ -1,8 +1,9 @@
 # Verification tiers: `make check` is the tier-1 floor (build + tests);
-# `make race` adds vet and the race detector; `make bench` runs the
-# dispatch-cache benchmarks that guard the native cache speedups.
+# `make race` adds vet, the race detector, and the esd server soak;
+# `make bench` runs the dispatch-cache benchmarks that guard the native
+# cache speedups; `make bench-server` regenerates the serving baseline.
 
-.PHONY: check race bench build
+.PHONY: check race soak bench bench-server build
 
 build:
 	go build ./...
@@ -13,5 +14,11 @@ check:
 race:
 	scripts/check.sh -race
 
+soak:
+	sh scripts/soak.sh
+
 bench:
 	go test -run=NONE -bench='NativePath|ParseCold|GlobMatch|EnvDecode|AllocUnderLiveRoots' -benchtime=200ms . ./internal/gc ./internal/glob
+
+bench-server:
+	sh scripts/bench_server.sh

@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,6 +28,7 @@ import (
 
 	"es/internal/core"
 	"es/internal/gc"
+	"es/internal/server"
 )
 
 func benchShell(b *testing.B) *Shell {
@@ -448,6 +450,98 @@ func BenchmarkForkClone(b *testing.B) {
 	for n := 0; n < b.N; n++ {
 		if i.Fork() == nil {
 			b.Fatal("fork failed")
+		}
+	}
+}
+
+// ---- serving layer: esd over a unix socket ----
+
+// benchServer starts an in-process evaluation server backed by a warm
+// template, exactly as cmd/esd wires it.
+func benchServer(b *testing.B) string {
+	b.Helper()
+	template := benchShell(b)
+	sock := filepath.Join(b.TempDir(), "esd.sock")
+	srv, err := server.New(server.Config{
+		Socket:   sock,
+		PoolSize: 8,
+		NewSession: func() (*core.Interp, error) {
+			return template.Interp().Spawn(), nil
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	b.Cleanup(func() {
+		if err := srv.Drain(10 * time.Second); err != nil {
+			b.Error(err)
+		}
+	})
+	return sock
+}
+
+func benchServerEval(b *testing.B, fr *server.FrameReader, fw *server.FrameWriter, n int64) {
+	if err := fw.Write(&server.Frame{Type: "eval", ID: n, Src: "result 0"}); err != nil {
+		b.Fatal(err)
+	}
+	f, err := fr.Read()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if f.Type != "result" || !f.True {
+		b.Fatalf("reply = %+v", f)
+	}
+}
+
+// BenchmarkServerEval measures one request round-trip through the full
+// serving stack — frame codec, mailbox, semaphore, interpreter, metrics —
+// for a single client and for concurrent clients (one session each).
+func BenchmarkServerEval(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) {
+		sock := benchServer(b)
+		conn, err := net.Dial("unix", sock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		fr, fw := server.NewClientConn(conn)
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			benchServerEval(b, fr, fw, int64(n))
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		sock := benchServer(b)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			conn, err := net.Dial("unix", sock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			fr, fw := server.NewClientConn(conn)
+			var n int64
+			for pb.Next() {
+				n++
+				benchServerEval(b, fr, fw, n)
+			}
+		})
+	})
+}
+
+// BenchmarkServerSessionSpawn is the warm-pool rationale: the cost of
+// stamping one session interpreter out of the initialized template.
+func BenchmarkServerSessionSpawn(b *testing.B) {
+	template := benchShell(b)
+	i := template.Interp()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if i.Spawn() == nil {
+			b.Fatal("spawn failed")
 		}
 	}
 }

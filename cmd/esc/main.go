@@ -1,0 +1,115 @@
+// Command esc is the esd client: it submits one command to a running es
+// evaluation daemon and relays the result.
+//
+// Usage:
+//
+//	esc [-socket path] [-deadline ms] 'command ...'
+//	esc -stats
+//
+// The command's captured stdout and stderr are replayed to esc's own
+// streams; the exit status follows the es convention (0 for a true
+// result, the numeric value for a small-integer result, 1 otherwise).
+// An uncaught exception — including `signal deadline` when the request
+// overran -deadline — is reported on stderr with exit status 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"es/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func defaultSocket() string {
+	if s := os.Getenv("ESD_SOCKET"); s != "" {
+		return s
+	}
+	if dir := os.Getenv("XDG_RUNTIME_DIR"); dir != "" {
+		return dir + "/esd.sock"
+	}
+	return fmt.Sprintf("/tmp/esd-%d.sock", os.Getuid())
+}
+
+func run() int {
+	var (
+		socket     = flag.String("socket", defaultSocket(), "esd unix socket `path` (or $ESD_SOCKET)")
+		deadlineMS = flag.Int64("deadline", 0, "per-request deadline in `ms` (0 = server default)")
+		stats      = flag.Bool("stats", false, "print server statistics and exit")
+	)
+	flag.Parse()
+	if !*stats && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: esc [-socket path] [-deadline ms] 'command ...' | esc -stats")
+		return 2
+	}
+
+	conn, err := net.Dial("unix", *socket)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esc:", err)
+		return 1
+	}
+	defer conn.Close()
+	fr, fw := server.NewClientConn(conn)
+
+	req := &server.Frame{ID: 1}
+	if *stats {
+		req.Type = "stats"
+	} else {
+		req.Type = "eval"
+		req.Src = strings.Join(flag.Args(), " ")
+		req.DeadlineMS = *deadlineMS
+	}
+	if err := fw.Write(req); err != nil {
+		fmt.Fprintln(os.Stderr, "esc:", err)
+		return 1
+	}
+
+	for {
+		f, err := fr.Read()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esc:", err)
+			return 1
+		}
+		switch f.Type {
+		case "result":
+			os.Stdout.WriteString(f.Stdout)
+			os.Stderr.WriteString(f.Stderr)
+			return statusOf(f)
+		case "error":
+			os.Stdout.WriteString(f.Stdout)
+			os.Stderr.WriteString(f.Stderr)
+			fmt.Fprintln(os.Stderr, "esc: uncaught exception:", strings.Join(f.Exception, " "))
+			return 1
+		case "stats":
+			for _, w := range f.Stats {
+				fmt.Println(w)
+			}
+			return 0
+		case "bye":
+			fmt.Fprintln(os.Stderr, "esc: server closed the session:", f.Reason)
+			return 1
+		}
+	}
+}
+
+// statusOf maps a result frame to an exit status the way cmd/es maps a
+// top-level result: true is 0, a single small integer is itself, anything
+// else is 1.
+func statusOf(f *server.Frame) int {
+	if f.True {
+		return 0
+	}
+	if len(f.Value) == 1 {
+		if n, err := strconv.Atoi(f.Value[0]); err == nil && n >= 0 && n < 256 {
+			return n
+		}
+	}
+	return 1
+}

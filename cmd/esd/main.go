@@ -1,0 +1,114 @@
+// Command esd is the es evaluation daemon: it serves concurrent es
+// sessions over a unix-domain socket with a newline-delimited JSON
+// protocol (see internal/server).
+//
+// Usage:
+//
+//	esd [-socket path] [-pool n] [-max n] [-deadline ms] [-drain-timeout s] [-quiet]
+//
+// Each session owns one interpreter spawned from a warm template (shell
+// state, including function definitions, arrives through esd's own
+// environment, exactly as for es itself).  A per-request deadline —
+// the frame's deadline_ms, or -deadline as the default — surfaces inside
+// the script as the catchable exception `signal deadline`.  SIGTERM or
+// SIGINT triggers a graceful drain: stop accepting, answer every request
+// already accepted, say bye, exit 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"es"
+	"es/internal/core"
+	"es/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// defaultSocket puts the socket in the user's runtime dir when the
+// platform provides one, /tmp otherwise.
+func defaultSocket() string {
+	if dir := os.Getenv("XDG_RUNTIME_DIR"); dir != "" {
+		return dir + "/esd.sock"
+	}
+	return fmt.Sprintf("/tmp/esd-%d.sock", os.Getuid())
+}
+
+func run() int {
+	var (
+		socket       = flag.String("socket", defaultSocket(), "unix socket `path` to serve on")
+		poolSize     = flag.Int("pool", 4, "warm pre-spawned interpreters")
+		maxConc      = flag.Int("max", runtime.GOMAXPROCS(0), "max concurrent evaluations")
+		deadlineMS   = flag.Int("deadline", 0, "default per-request deadline in `ms` (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful drain may take")
+		quiet        = flag.Bool("quiet", false, "suppress lifecycle logging")
+	)
+	flag.Parse()
+
+	// The template interpreter: primitives, coreutils, initial.es and the
+	// process environment, initialized once; sessions are stamped out of
+	// it with Spawn, so none of that work repeats per connection.
+	template, err := es.New(es.Options{
+		Stdout:  io.Discard,
+		Stderr:  io.Discard,
+		Environ: os.Environ(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esd: startup:", err)
+		return 1
+	}
+
+	logf := func(string, ...any) {}
+	if !*quiet {
+		logger := log.New(os.Stderr, "", log.LstdFlags)
+		logf = logger.Printf
+	}
+	srv, err := server.New(server.Config{
+		Socket:          *socket,
+		PoolSize:        *poolSize,
+		MaxConcurrent:   *maxConc,
+		DefaultDeadline: time.Duration(*deadlineMS) * time.Millisecond,
+		NewSession: func() (*core.Interp, error) {
+			return template.Interp().Spawn(), nil
+		},
+		Logf: logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esd:", err)
+		return 1
+	}
+	if err := srv.Listen(); err != nil {
+		fmt.Fprintln(os.Stderr, "esd:", err)
+		return 1
+	}
+	defer os.Remove(*socket)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	drainErr := make(chan error, 1)
+	go func() {
+		<-sig
+		drainErr <- srv.Drain(*drainTimeout)
+	}()
+
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "esd: serve:", err)
+		return 1
+	}
+	// Serve returns nil only when draining; wait for the drain verdict.
+	if err := <-drainErr; err != nil {
+		fmt.Fprintln(os.Stderr, "esd:", err)
+		return 1
+	}
+	return 0
+}

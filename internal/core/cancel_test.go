@@ -1,0 +1,140 @@
+package core_test
+
+// Tests for cooperative cancellation (SetCancel) and its interaction with
+// the interrupt latch: a fired deadline surfaces as the catchable
+// exception `signal <reason>`, delivery is one-shot, an eval that is both
+// interrupted and past its deadline raises exactly one exception, and
+// ClearInterrupt at a prompt does not disarm a server-side deadline.
+
+import (
+	"testing"
+	"time"
+
+	"es/internal/core"
+)
+
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+func wantSignal(t *testing.T, err error, reason string) {
+	t.Helper()
+	exc := core.AsException(err)
+	if exc == nil {
+		t.Fatalf("got %v, want exception signal %s", err, reason)
+	}
+	if got := exc.Args.Flatten(" "); got != "signal "+reason {
+		t.Fatalf("got exception %q, want %q", got, "signal "+reason)
+	}
+}
+
+func TestCancelRaisesSignalExceptionOnce(t *testing.T) {
+	i, ctx, out := harness(t)
+	i.SetCancel(closedChan(), "deadline")
+	_, err := i.RunString(ctx, "echo never")
+	wantSignal(t, err, "deadline")
+	if out.String() != "" {
+		t.Errorf("cancelled command produced output %q", out.String())
+	}
+	// Delivery is one-shot, like a signal: the fired token does not abort
+	// the next eval on this interpreter.
+	res, err := i.RunString(ctx, "result ok")
+	if err != nil || res.Flatten(" ") != "ok" {
+		t.Fatalf("after one-shot delivery: %v %v", res, err)
+	}
+	i.ClearCancel()
+}
+
+func TestCancelAbortsInfiniteLoop(t *testing.T) {
+	i, ctx, _ := harness(t)
+	done := make(chan struct{})
+	timer := time.AfterFunc(30*time.Millisecond, func() { close(done) })
+	defer timer.Stop()
+	i.SetCancel(done, "deadline")
+	defer i.ClearCancel()
+	start := time.Now()
+	_, err := i.RunString(ctx, "while {} {}")
+	wantSignal(t, err, "deadline")
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("deadline took %v to fire", el)
+	}
+}
+
+func TestCancelIsCatchableInScript(t *testing.T) {
+	i, ctx, _ := harness(t)
+	done := make(chan struct{})
+	timer := time.AfterFunc(20*time.Millisecond, func() { close(done) })
+	defer timer.Stop()
+	i.SetCancel(done, "deadline")
+	defer i.ClearCancel()
+	// The handler must observe `signal deadline` and — because delivery is
+	// one-shot — run its own commands without being re-aborted.
+	res, err := i.RunString(ctx, "catch @ e {result caught $e} {while {} {}}")
+	if err != nil {
+		t.Fatalf("catch did not intercept the deadline: %v", err)
+	}
+	if got := res.Flatten(" "); got != "caught signal deadline" {
+		t.Fatalf("handler result = %q, want %q", got, "caught signal deadline")
+	}
+}
+
+func TestCancelAndInterruptRaiseExactlyOneException(t *testing.T) {
+	i, ctx, _ := harness(t)
+	i.SetCancel(closedChan(), "deadline")
+	i.Interrupt()
+	// Both pending: the fired deadline wins and consumes the interrupt —
+	// the request is aborting for one cause, one exception.
+	_, err := i.RunString(ctx, "echo x")
+	wantSignal(t, err, "deadline")
+	// Neither a second deadline nor a stale sigint hits the next eval.
+	res, err := i.RunString(ctx, "result ok")
+	if err != nil || res.Flatten(" ") != "ok" {
+		t.Fatalf("second exception leaked into the next eval: %v %v", res, err)
+	}
+	i.ClearCancel()
+}
+
+func TestClearInterruptKeepsCancelArmed(t *testing.T) {
+	i, ctx, _ := harness(t)
+	done := make(chan struct{})
+	i.SetCancel(done, "deadline")
+	defer i.ClearCancel()
+	i.Interrupt()
+	i.ClearInterrupt() // the prompt idiom (%parse) — must not disarm the deadline
+	close(done)
+	_, err := i.RunString(ctx, "echo x")
+	wantSignal(t, err, "deadline")
+}
+
+func TestSpawnDetachesSignalStateAndJobs(t *testing.T) {
+	i, ctx, _ := harness(t)
+	child := i.Spawn()
+	cctx := ctx.NonTail()
+
+	// An interrupt aimed at the parent must not abort the spawned child.
+	i.Interrupt()
+	if res, err := child.RunString(cctx, "result ok"); err != nil || res.Flatten(" ") != "ok" {
+		t.Fatalf("parent interrupt leaked into spawned child: %v %v", res, err)
+	}
+	_, err := i.RunString(ctx, "echo x")
+	wantSignal(t, err, "sigint")
+
+	// A deadline armed on the child must not abort the parent.
+	child.SetCancel(closedChan(), "deadline")
+	if res, err := i.RunString(ctx, "result ok"); err != nil || res.Flatten(" ") != "ok" {
+		t.Fatalf("child deadline leaked into parent: %v %v", res, err)
+	}
+	_, err = child.RunString(cctx, "echo x")
+	wantSignal(t, err, "deadline")
+
+	// Job tables are separate: the parent cannot reap the child's jobs.
+	child.StartJob(func() core.List { return core.StrList("x") })
+	if _, _, ok := i.WaitAny(); ok {
+		t.Error("parent reaped a job started by a spawned child")
+	}
+	if id, res, ok := child.WaitAny(); !ok || res.Flatten(" ") != "x" {
+		t.Errorf("child WaitAny = %d %v %v", id, res, ok)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"es/internal/glob"
 	"es/internal/syntax"
@@ -18,8 +19,63 @@ func (i *Interp) Interrupt() { i.intr.Store(true) }
 // ClearInterrupt drops a pending interrupt that no command boundary
 // consumed.  The REPL calls this when it returns to the prompt (%parse),
 // so a SIGINT delivered in the dead time after one command finishes does
-// not stay latched and abort the next, unrelated command.
+// not stay latched and abort the next, unrelated command.  It touches
+// only the interrupt line: a server-side deadline armed with SetCancel
+// stays armed — a user pressing ^C at an embedded prompt must not grant
+// a request more time.
 func (i *Interp) ClearInterrupt() { i.intr.Store(false) }
+
+// cancelState is one armed cooperative cancellation: once done is closed,
+// the next command boundary anywhere in the interpreter's fork group
+// raises `signal <reason>`.  Delivery is one-shot, like a Unix signal: the
+// first boundary to observe the closed channel wins the CAS and throws;
+// a handler that catches the exception then runs normally instead of
+// being re-aborted at its own first command.
+type cancelState struct {
+	done   <-chan struct{}
+	reason string
+	fired  atomic.Bool
+}
+
+// SetCancel arms cooperative cancellation for this interpreter and its
+// forks: when done is closed, evaluation raises the catchable exception
+// `signal <reason>` at the next command boundary.  This is how a serving
+// layer imposes a per-request deadline on an eval without killing its
+// goroutine — the timeout unwinds through the script like any signal
+// (`throw signal deadline`), scripts may catch it, and the interpreter
+// stays usable for the next request.  Arming replaces any previous token.
+func (i *Interp) SetCancel(done <-chan struct{}, reason string) {
+	i.cancel.Store(&cancelState{done: done, reason: reason})
+}
+
+// ClearCancel disarms SetCancel.  It does not touch a latched interrupt;
+// the interrupt line and the cancel slot are independent (ClearInterrupt
+// likewise leaves the cancel token armed).
+func (i *Interp) ClearCancel() { i.cancel.Store(nil) }
+
+// checkPending is the boundary poll for asynchronous aborts, run at every
+// command boundary and every closure application (the latter so that
+// loops over empty thunks — `while {} {}` — still observe aborts).  A
+// fired cancel token outranks a latched interrupt, and consumes it: an
+// eval that is both interrupted and past its deadline is aborting for one
+// cause and raises exactly one exception.  The common no-abort path costs
+// two atomic loads, no read-modify-write.
+func (i *Interp) checkPending() error {
+	if c := i.cancel.Load(); c != nil && !c.fired.Load() {
+		select {
+		case <-c.done:
+			if c.fired.CompareAndSwap(false, true) {
+				i.intr.Store(false)
+				return Throw(StrList("signal", c.reason))
+			}
+		default:
+		}
+	}
+	if i.intr.Load() && i.intr.CompareAndSwap(true, false) {
+		return Throw(StrList("signal", "sigint"))
+	}
+	return nil
+}
 
 // EvalBlock evaluates a command sequence; the result is the last
 // command's result (the empty list — true — for an empty block).  When
@@ -40,8 +96,8 @@ func (i *Interp) EvalBlock(ctx *Ctx, b *syntax.Block, env *Binding) (List, error
 }
 
 func (i *Interp) evalCmd(ctx *Ctx, c syntax.Cmd, env *Binding) (List, error) {
-	if i.intr.CompareAndSwap(true, false) {
-		return nil, Throw(StrList("signal", "sigint"))
+	if err := i.checkPending(); err != nil {
+		return nil, err
 	}
 	switch c := c.(type) {
 	case *syntax.Block:
@@ -176,6 +232,9 @@ func (i *Interp) applyClosure(ctx *Ctx, cl *Closure, args List, boundary bool) (
 		body = ctx.InTail()
 	}
 	for {
+		if err := i.checkPending(); err != nil {
+			return nil, err
+		}
 		env := bindParams(i, cl, args)
 		res, err := i.EvalBlock(body, cl.Body, env)
 		if err == nil {

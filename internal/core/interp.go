@@ -60,6 +60,11 @@ type Interp struct {
 	// each independently created interpreter.
 	intr *atomic.Bool
 
+	// cancel is the cooperative-cancellation slot, shared with forks the
+	// same way the interrupt line is: a serving layer arms it per request
+	// (SetCancel) and every command boundary in the group polls it.
+	cancel *atomic.Pointer[cancelState]
+
 	// Depth guards runaway recursion when TCO is off.
 	depth    int
 	maxDepth int
@@ -151,6 +156,7 @@ func New() *Interp {
 		jobs:      &jobTable{jobs: make(map[int]*job)},
 		pathCache: cache.NewMap[string]("path", 512),
 		intr:      new(atomic.Bool),
+		cancel:    new(atomic.Pointer[cancelState]),
 		maxDepth:  10000,
 	}
 }
@@ -213,8 +219,11 @@ func (i *Interp) Fork() *Interp {
 		// parent's would serve answers computed against the wrong $path.
 		pathCache: cache.NewMap[string]("path", 512),
 		// The interrupt line IS shared: a SIGINT aimed at the shell
-		// interrupts its subshells too, like a Unix process group.
-		intr: i.intr,
+		// interrupts its subshells too, like a Unix process group.  So is
+		// the cancel slot: a request deadline aborts the subshells and
+		// background jobs the request spawned, not just its main line.
+		intr:   i.intr,
+		cancel: i.cancel,
 	}
 	memo := &forkMemo{
 		bindings: make(map[*Binding]*Binding),
@@ -227,6 +236,22 @@ func (i *Interp) Fork() *Interp {
 		}
 		child.vars[name] = &varSlot{value: copyList(slot.value, memo), noexport: slot.noexport}
 	}
+	return child
+}
+
+// Spawn forks the interpreter and detaches the copy from the parent's
+// process-group state: the child gets its own interrupt line, cancel
+// slot, and background-job table.  Fork models a subshell; Spawn models a
+// fresh top-level interpreter stamped out of a warm template — the esd
+// session-pool idiom — so interrupting or deadlining one session can
+// never abort another, and `wait` in one session cannot reap another's
+// jobs.
+func (i *Interp) Spawn() *Interp {
+	child := i.Fork()
+	child.parent = nil
+	child.intr = new(atomic.Bool)
+	child.cancel = new(atomic.Pointer[cancelState])
+	child.jobs = &jobTable{jobs: make(map[int]*job)}
 	return child
 }
 

@@ -1,0 +1,138 @@
+package core
+
+// Regression tests for the background-job table: WaitAny must reap the
+// first job to finish (not block behind the lowest id), ties break
+// deterministically on the lowest id, and concurrent waiters on the
+// shared fork/parent table are well-defined under -race.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// jobDone returns the done channel of a live (unreaped) job.
+func jobDone(t *testing.T, i *Interp, id int) chan struct{} {
+	t.Helper()
+	i.jobs.mu.Lock()
+	defer i.jobs.mu.Unlock()
+	j := i.jobs.jobs[id]
+	if j == nil {
+		t.Fatalf("job %d not in table", id)
+	}
+	return j.done
+}
+
+func TestWaitAnyFirstFinisher(t *testing.T) {
+	i := New()
+	slow := make(chan struct{})
+	idSlow := i.StartJob(func() List { <-slow; return StrList("slow") })
+	fast := make(chan struct{})
+	idFast := i.StartJob(func() List { <-fast; return StrList("fast") })
+
+	close(fast)
+	<-jobDone(t, i, idFast)
+
+	type res struct {
+		id  int
+		val List
+		ok  bool
+	}
+	got := make(chan res, 1)
+	go func() {
+		id, val, ok := i.WaitAny()
+		got <- res{id, val, ok}
+	}()
+	select {
+	case r := <-got:
+		if !r.ok || r.id != idFast || r.val.Flatten(" ") != "fast" {
+			t.Fatalf("WaitAny = %d %v %v, want %d fast true", r.id, r.val, r.ok, idFast)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitAny blocked behind the unfinished low-id job")
+	}
+
+	close(slow)
+	id, val, ok := i.WaitAny()
+	if !ok || id != idSlow || val.Flatten(" ") != "slow" {
+		t.Fatalf("second WaitAny = %d %v %v, want %d slow true", id, val, ok, idSlow)
+	}
+	if _, _, ok := i.WaitAny(); ok {
+		t.Error("WaitAny with an empty table should report none")
+	}
+}
+
+func TestWaitAnyTieBreaksOnLowestID(t *testing.T) {
+	i := New()
+	ids := make([]int, 3)
+	for k := range ids {
+		ids[k] = i.StartJob(func() List { return StrList("x") })
+	}
+	for _, id := range ids {
+		<-jobDone(t, i, id)
+	}
+	id, _, ok := i.WaitAny()
+	if !ok || id != ids[0] {
+		t.Fatalf("WaitAny with several finished jobs = %d, want lowest id %d", id, ids[0])
+	}
+}
+
+func TestWaitJobConcurrentWaiters(t *testing.T) {
+	i := New()
+	gate := make(chan struct{})
+	id := i.StartJob(func() List { <-gate; return StrList("r") })
+
+	var okCount atomic.Int32
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if val, ok := i.WaitJob(id); ok {
+				if val.Flatten(" ") != "r" {
+					t.Errorf("winning waiter got %v", val)
+				}
+				okCount.Add(1)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if okCount.Load() != 1 {
+		t.Fatalf("%d waiters claimed job %d, want exactly 1", okCount.Load(), id)
+	}
+}
+
+func TestWaitAnyConcurrentWaitersSharedForkTable(t *testing.T) {
+	i := New()
+	child := i.Fork() // shares the job table, like a subshell
+	const jobs = 24
+	gate := make(chan struct{})
+	for k := 0; k < jobs; k++ {
+		i.StartJob(func() List { <-gate; return StrList("x") })
+	}
+	var reaped atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		p := i
+		if w%2 == 1 {
+			p = child
+		}
+		wg.Add(1)
+		go func(p *Interp) {
+			defer wg.Done()
+			for {
+				if _, _, ok := p.WaitAny(); !ok {
+					return
+				}
+				reaped.Add(1)
+			}
+		}(p)
+	}
+	close(gate)
+	wg.Wait()
+	if reaped.Load() != jobs {
+		t.Fatalf("reaped %d jobs, want %d", reaped.Load(), jobs)
+	}
+}

@@ -71,6 +71,11 @@ fn-noexport = $&noexport
 fn-recache = $&recache
 fn-cachestats = $&cachestats
 
+# Serving-layer observability: inside an esd daemon, serverstats returns
+# the server's counters (sessions, evals, timeouts, latency quantiles) as
+# name:value words; elsewhere it throws error.
+fn-serverstats = $&serverstats
+
 # Default word splitting and prompts.  The default prompt "; " is a null
 # command followed by a command separator, so whole lines, including
 # prompts, can be cut and pasted back to the shell for re-execution.

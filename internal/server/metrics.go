@@ -1,0 +1,102 @@
+package server
+
+// Server observability, in the same counter idiom as internal/cache:
+// plain atomics snapshotted on demand, never sampled behind a lock on the
+// hot path.  Latency is a fixed power-of-two histogram in microseconds,
+// so p50/p99 are one pass over 40 counters with bounded (~2x) bucket
+// error — the classic serving-histogram trade.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets is the histogram size: bucket k counts evals with latency in
+// [2^(k-1), 2^k) microseconds, so the last bucket tops out past an hour.
+const latBuckets = 40
+
+// Metrics is the server-wide counter set.  All fields are safe for
+// concurrent use.
+type Metrics struct {
+	SessionsOpened atomic.Int64
+	SessionsClosed atomic.Int64
+	Evals          atomic.Int64 // eval frames processed
+	Errors         atomic.Int64 // evals that raised an uncaught exception
+	Timeouts       atomic.Int64 // the subset of Errors that were `signal deadline`
+	InFlight       atomic.Int64 // evals currently holding the semaphore
+	BytesIn        atomic.Int64
+	BytesOut       atomic.Int64
+
+	lat [latBuckets]atomic.Int64
+}
+
+// Observe records one eval's wall-clock latency.
+func (m *Metrics) Observe(d time.Duration) {
+	us := d.Microseconds()
+	k := 0
+	for us > 0 && k < latBuckets-1 {
+		us >>= 1
+		k++
+	}
+	m.lat[k].Add(1)
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]) of
+// observed latencies; zero when nothing has been observed.
+func (m *Metrics) Quantile(q float64) time.Duration {
+	var counts [latBuckets]int64
+	var total int64
+	for k := range m.lat {
+		counts[k] = m.lat[k].Load()
+		total += counts[k]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total-1)) + 1
+	var seen int64
+	for k, c := range counts {
+		seen += c
+		if seen >= rank {
+			return time.Duration(int64(1)<<uint(k)) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(1)<<uint(latBuckets-1)) * time.Microsecond
+}
+
+// Words renders the counters as name:value words, the wire/script surface
+// shared by the stats frame and the $&serverstats primitive (the same
+// shape as $&cachestats).  The order is fixed so output is diffable.
+func (m *Metrics) Words() []string {
+	open := m.SessionsOpened.Load() - m.SessionsClosed.Load()
+	return []string{
+		fmt.Sprintf("sessions_open:%d", open),
+		fmt.Sprintf("sessions_total:%d", m.SessionsOpened.Load()),
+		fmt.Sprintf("evals:%d", m.Evals.Load()),
+		fmt.Sprintf("errors:%d", m.Errors.Load()),
+		fmt.Sprintf("timeouts:%d", m.Timeouts.Load()),
+		fmt.Sprintf("inflight:%d", m.InFlight.Load()),
+		fmt.Sprintf("bytes_in:%d", m.BytesIn.Load()),
+		fmt.Sprintf("bytes_out:%d", m.BytesOut.Load()),
+		fmt.Sprintf("p50_us:%d", m.Quantile(0.50).Microseconds()),
+		fmt.Sprintf("p99_us:%d", m.Quantile(0.99).Microseconds()),
+	}
+}
+
+// sessionMetrics is the per-session slice of the same counters, reported
+// in a session's stats frame alongside the globals.
+type sessionMetrics struct {
+	evals    atomic.Int64
+	errors   atomic.Int64
+	timeouts atomic.Int64
+}
+
+func (sm *sessionMetrics) words(id uint64) []string {
+	return []string{
+		fmt.Sprintf("session:%d", id),
+		fmt.Sprintf("session_evals:%d", sm.evals.Load()),
+		fmt.Sprintf("session_errors:%d", sm.errors.Load()),
+		fmt.Sprintf("session_timeouts:%d", sm.timeouts.Load()),
+	}
+}

@@ -1,0 +1,73 @@
+package server
+
+// The warm interpreter pool.  Stamping a session interpreter out of the
+// template (Fork + detach, core.Interp.Spawn) deep-copies every variable
+// binding initial.es established — measurable work we do not want on the
+// accept path.  A filler goroutine keeps a small buffered channel of
+// pre-spawned interpreters topped up; sessions take one in O(1) and the
+// filler replaces it off the hot path.
+
+import (
+	"sync"
+
+	"es/internal/core"
+)
+
+// pool keeps warm, pre-initialized session interpreters.
+type pool struct {
+	newFn func() (*core.Interp, error)
+	ch    chan *core.Interp
+	stop  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+}
+
+func newPool(size int, newFn func() (*core.Interp, error)) *pool {
+	if size < 0 {
+		size = 0
+	}
+	p := &pool{
+		newFn: newFn,
+		ch:    make(chan *core.Interp, size),
+		stop:  make(chan struct{}),
+	}
+	if size > 0 {
+		p.wg.Add(1)
+		go p.fill()
+	}
+	return p
+}
+
+// fill keeps the channel full until the pool closes.  On a constructor
+// error the filler retires; Get falls back to direct construction and
+// surfaces the error to the session that hit it.
+func (p *pool) fill() {
+	defer p.wg.Done()
+	for {
+		i, err := p.newFn()
+		if err != nil {
+			return
+		}
+		select {
+		case p.ch <- i:
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// get returns a warm interpreter, or builds one inline when the pool is
+// momentarily empty (a burst of accepts outrunning the filler).
+func (p *pool) get() (*core.Interp, error) {
+	select {
+	case i := <-p.ch:
+		return i, nil
+	default:
+		return p.newFn()
+	}
+}
+
+func (p *pool) close() {
+	p.once.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}

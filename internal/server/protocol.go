@@ -1,0 +1,121 @@
+// Package server is the esd serving layer: a concurrent evaluation
+// service that drives warm-pooled es interpreters over a unix-domain
+// socket.
+//
+// The paper frames es as an embeddable command language — "a library
+// version of es which could be used stand-alone as a shell or linked into
+// other programs" — and this package is that library version put behind a
+// wire: each connection is a session owning one interpreter (core.Interp
+// is not safe for concurrent use) driven by a dedicated goroutine with a
+// mailbox, a warm pool keeps session start-up off the hot path, a
+// semaphore caps concurrent evaluations, and per-request deadlines
+// surface in-script as the catchable exception `signal deadline` via the
+// interpreter's cooperative-cancellation boundary checks.
+//
+// The protocol is newline-delimited JSON, one Frame per line.  Clients
+// send eval, stats and bye frames; the server answers with result, error,
+// stats and bye frames.  Within a session requests are processed in
+// order; concurrency comes from sessions.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Frame is one protocol message.  Type selects which fields are
+// meaningful:
+//
+//	eval   (client) — Src, optional ID and DeadlineMS
+//	result (server) — ID, Value, True, Stdout, Stderr, MS
+//	error  (server) — ID, Exception (the uncaught es exception, one word
+//	                  per list term), Stdout, Stderr, MS
+//	stats  (client) — ID; (server) — ID, Stats
+//	bye    (either) — Reason on the server side ("bye", "drain")
+type Frame struct {
+	Type       string   `json:"type"`
+	ID         int64    `json:"id,omitempty"`
+	Src        string   `json:"src,omitempty"`
+	DeadlineMS int64    `json:"deadline_ms,omitempty"`
+	Value      []string `json:"value,omitempty"`
+	True       bool     `json:"true,omitempty"`
+	Exception  []string `json:"exception,omitempty"`
+	Stdout     string   `json:"stdout,omitempty"`
+	Stderr     string   `json:"stderr,omitempty"`
+	MS         float64  `json:"ms,omitempty"`
+	Stats      []string `json:"stats,omitempty"`
+	Reason     string   `json:"reason,omitempty"`
+}
+
+// maxFrameBytes bounds one frame line; a client shipping a larger script
+// gets an error frame rather than an unbounded buffer.
+const maxFrameBytes = 8 << 20
+
+// FrameReader decodes newline-delimited frames, counting wire bytes into
+// the shared metrics counter.
+type FrameReader struct {
+	s  *bufio.Scanner
+	in *atomic.Int64
+}
+
+func NewFrameReader(r io.Reader, in *atomic.Int64) *FrameReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64<<10), maxFrameBytes)
+	return &FrameReader{s: s, in: in}
+}
+
+// Read returns the next frame; io.EOF at end of stream.
+func (fr *FrameReader) Read() (*Frame, error) {
+	if !fr.s.Scan() {
+		if err := fr.s.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	line := fr.s.Bytes()
+	if fr.in != nil {
+		fr.in.Add(int64(len(line) + 1))
+	}
+	var f Frame
+	if err := json.Unmarshal(line, &f); err != nil {
+		return nil, fmt.Errorf("bad frame: %w", err)
+	}
+	return &f, nil
+}
+
+// FrameWriter encodes frames one per line.  It serializes writers: the
+// session goroutine and the server's drain path may both say goodbye.
+type FrameWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	out *atomic.Int64
+}
+
+func NewFrameWriter(w io.Writer, out *atomic.Int64) *FrameWriter {
+	return &FrameWriter{w: w, out: out}
+}
+
+// NewClientConn wraps the client side of an esd connection in frame
+// codecs (without wire-byte accounting); esc and tests speak through it.
+func NewClientConn(rw io.ReadWriter) (*FrameReader, *FrameWriter) {
+	return NewFrameReader(rw, nil), NewFrameWriter(rw, nil)
+}
+
+func (fw *FrameWriter) Write(f *Frame) error {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	n, err := fw.w.Write(b)
+	if fw.out != nil {
+		fw.out.Add(int64(n))
+	}
+	return err
+}

@@ -1,0 +1,240 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"es/internal/core"
+	"es/internal/prim"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Socket is the unix-domain socket path to serve on.
+	Socket string
+
+	// PoolSize is how many warm interpreters to keep pre-spawned
+	// (default 4).
+	PoolSize int
+
+	// MaxConcurrent caps simultaneously running evaluations across all
+	// sessions (default GOMAXPROCS); sessions beyond the cap queue on the
+	// semaphore in arrival order.
+	MaxConcurrent int
+
+	// DefaultDeadline applies to eval frames that do not carry their own
+	// deadline_ms; zero means no server-imposed deadline.
+	DefaultDeadline time.Duration
+
+	// NewSession builds one detached session interpreter.  The usual
+	// implementation spawns from a warm template:
+	//
+	//	sh, _ := es.New(es.Options{...})         // once
+	//	cfg.NewSession = func() (*core.Interp, error) {
+	//		return sh.Interp().Spawn(), nil       // per session
+	//	}
+	NewSession func() (*core.Interp, error)
+
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Server is a concurrent es evaluation daemon.
+type Server struct {
+	cfg     Config
+	ln      net.Listener
+	pool    *pool
+	sem     chan struct{}
+	metrics Metrics
+
+	drainCh   chan struct{} // closed when draining starts
+	draining  atomic.Bool
+	drainOnce sync.Once
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextID   atomic.Uint64
+	wg       sync.WaitGroup // one per session goroutine
+}
+
+// New builds a Server and wires $&serverstats: scripts evaluated anywhere
+// in this process report this server's counters (the most recently
+// created server wins, matching the one-daemon-per-process deployment).
+func New(cfg Config) (*Server, error) {
+	if cfg.NewSession == nil {
+		return nil, errors.New("server: Config.NewSession is required")
+	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 4
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:      cfg,
+		pool:     newPool(cfg.PoolSize, cfg.NewSession),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		drainCh:  make(chan struct{}),
+		sessions: make(map[uint64]*session),
+	}
+	prim.SetServerStats(s.Stats)
+	return s, nil
+}
+
+// Listen binds the unix socket, replacing a stale socket file left by a
+// dead daemon.
+func (s *Server) Listen() error {
+	if fi, err := os.Stat(s.cfg.Socket); err == nil && fi.Mode()&os.ModeSocket != 0 {
+		if c, err := net.Dial("unix", s.cfg.Socket); err == nil {
+			c.Close()
+			return fmt.Errorf("server: %s: daemon already running", s.cfg.Socket)
+		}
+		os.Remove(s.cfg.Socket)
+	}
+	ln, err := net.Listen("unix", s.cfg.Socket)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.cfg.Logf("esd: listening on %s (pool=%d max=%d)",
+		s.cfg.Socket, s.cfg.PoolSize, s.cfg.MaxConcurrent)
+	return nil
+}
+
+// Serve accepts sessions until the listener closes; it returns nil when
+// the server is draining.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.startSession(conn)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+func (s *Server) startSession(conn net.Conn) {
+	interp, err := s.pool.get()
+	if err != nil {
+		fw := NewFrameWriter(conn, &s.metrics.BytesOut)
+		fw.Write(&Frame{Type: "error", Exception: []string{"error", "esd", err.Error()}})
+		conn.Close()
+		return
+	}
+	id := s.nextID.Add(1)
+	sess := newSession(id, s, conn, interp)
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		sess.fw.Write(&Frame{Type: "bye", Reason: "drain"})
+		conn.Close()
+		return
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.metrics.SessionsOpened.Add(1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		sess.run()
+	}()
+}
+
+// dropSession forgets a finished session.
+func (s *Server) dropSession(id uint64) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+}
+
+// Drain performs a graceful shutdown: stop accepting, let every session
+// answer the requests it has already read, then say bye and close.  It
+// returns nil once all sessions have exited.  If timeout is positive and
+// sessions are still busy when it expires — an eval with no deadline
+// stuck in a loop, say — their interpreters are cooperatively cancelled
+// (`signal shutdown`), their connections closed, and Drain reports an
+// error.  Drain is idempotent; concurrent callers all wait.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.cfg.Logf("esd: draining (%d sessions open)", s.openSessions())
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case <-done:
+		s.pool.close()
+		s.cfg.Logf("esd: drain complete")
+		return nil
+	case <-timeoutCh:
+		s.forceClose()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+		}
+		s.pool.close()
+		return fmt.Errorf("server: drain timed out after %v; sessions force-closed", timeout)
+	}
+}
+
+// forceClose aborts the sessions that outlived the drain timeout: their
+// in-flight evals are cancelled at the next command boundary and their
+// connections closed under them.
+func (s *Server) forceClose() {
+	closed := make(chan struct{})
+	close(closed)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sess := range s.sessions {
+		sess.interp.SetCancel(closed, "shutdown")
+		sess.conn.Close()
+	}
+}
+
+func (s *Server) openSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Stats snapshots the server-wide counters as name:value words.
+func (s *Server) Stats() []string { return s.metrics.Words() }
+
+// Metrics exposes the raw counter set (tests and embedders).
+func (s *Server) Metrics() *Metrics { return &s.metrics }

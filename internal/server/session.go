@@ -1,0 +1,209 @@
+package server
+
+// One session = one connection = one interpreter = one goroutine.  The
+// read loop turns wire frames into mailbox messages; the session
+// goroutine — the interpreter's only driver, since core.Interp is not
+// safe for concurrent use — drains the mailbox in order.  Asynchronous
+// aborts (per-request deadlines) do not need a second driver: they ride
+// the interpreter's cooperative cancellation, armed before RunString and
+// fired from a timer goroutine that never touches the interpreter.
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"es/internal/core"
+)
+
+// session is one client connection and the interpreter it owns.
+type session struct {
+	id     uint64
+	srv    *Server
+	conn   net.Conn
+	interp *core.Interp
+	fr     *FrameReader
+	fw     *FrameWriter
+	mail   chan *Frame   // read loop -> session goroutine
+	closed chan struct{} // closed when the session goroutine exits
+	sm     sessionMetrics
+}
+
+// sessionBuffer collects one request's output.  Pipeline elements and
+// background jobs write from their own goroutines, so it locks; a
+// background job that outlives its request writes into a buffer nobody
+// will read again, which is safe and intentionally lossy (the C shell
+// drops output of disowned jobs on a closed terminal the same way).
+type sessionBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *sessionBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *sessionBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func newSession(id uint64, srv *Server, conn net.Conn, interp *core.Interp) *session {
+	return &session{
+		id:     id,
+		srv:    srv,
+		conn:   conn,
+		interp: interp,
+		fr:     NewFrameReader(conn, &srv.metrics.BytesIn),
+		fw:     NewFrameWriter(conn, &srv.metrics.BytesOut),
+		mail:   make(chan *Frame, 8),
+		closed: make(chan struct{}),
+	}
+}
+
+// run drives the session to completion.  It returns when the client says
+// bye, the connection drops, or the server drains — in the drain case
+// only after every request already in the mailbox has been answered.
+func (s *session) run() {
+	defer func() {
+		close(s.closed)
+		s.conn.Close()
+		s.srv.metrics.SessionsClosed.Add(1)
+		s.srv.dropSession(s.id)
+	}()
+	go s.readLoop()
+	for {
+		select {
+		case f, ok := <-s.mail:
+			if !ok {
+				return // client hung up
+			}
+			if s.dispatch(f) {
+				return
+			}
+		case <-s.srv.drainCh:
+			// Finish the work already accepted, then say goodbye.
+			for {
+				select {
+				case f, ok := <-s.mail:
+					if !ok {
+						return
+					}
+					if s.dispatch(f) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			s.fw.Write(&Frame{Type: "bye", Reason: "drain"})
+			return
+		}
+	}
+}
+
+// readLoop feeds the mailbox until the stream ends.  It never touches the
+// interpreter.
+func (s *session) readLoop() {
+	defer close(s.mail)
+	for {
+		f, err := s.fr.Read()
+		if err != nil {
+			return
+		}
+		select {
+		case s.mail <- f:
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// dispatch handles one frame; the returned bool means "close the
+// session".
+func (s *session) dispatch(f *Frame) bool {
+	switch f.Type {
+	case "eval":
+		s.eval(f)
+		return false
+	case "stats":
+		words := append(s.srv.metrics.Words(), s.sm.words(s.id)...)
+		s.fw.Write(&Frame{Type: "stats", ID: f.ID, Stats: words})
+		return false
+	case "bye":
+		s.fw.Write(&Frame{Type: "bye", Reason: "bye"})
+		return true
+	default:
+		s.fw.Write(&Frame{Type: "error", ID: f.ID,
+			Exception: []string{"error", "esd", "unknown frame type: " + f.Type}})
+		return false
+	}
+}
+
+// eval runs one request on the session's interpreter, under the server's
+// eval semaphore and, when a deadline applies, under a cancel token that
+// surfaces in-script as the catchable exception `signal deadline`.
+func (s *session) eval(f *Frame) {
+	s.srv.sem <- struct{}{}
+	defer func() { <-s.srv.sem }()
+	m := &s.srv.metrics
+	m.InFlight.Add(1)
+	defer m.InFlight.Add(-1)
+	m.Evals.Add(1)
+	s.sm.evals.Add(1)
+
+	deadline := s.srv.cfg.DefaultDeadline
+	if f.DeadlineMS > 0 {
+		deadline = time.Duration(f.DeadlineMS) * time.Millisecond
+	}
+	var out, errb sessionBuffer
+	ctx := &core.Ctx{IO: core.NewIOTable(strings.NewReader(""), &out, &errb)}
+	if deadline > 0 {
+		done := make(chan struct{})
+		timer := time.AfterFunc(deadline, func() { close(done) })
+		s.interp.SetCancel(done, "deadline")
+		defer func() {
+			timer.Stop()
+			s.interp.ClearCancel()
+		}()
+	}
+	start := time.Now()
+	res, err := s.interp.RunString(ctx, f.Src)
+	elapsed := time.Since(start)
+	// The next request must start clean even if this one left an
+	// interrupt latched mid-eval; the deadline token is cleared above.
+	s.interp.ClearInterrupt()
+	m.Observe(elapsed)
+
+	reply := &Frame{
+		ID:     f.ID,
+		Stdout: out.String(),
+		Stderr: errb.String(),
+		MS:     float64(elapsed.Microseconds()) / 1000,
+	}
+	if err != nil {
+		m.Errors.Add(1)
+		s.sm.errors.Add(1)
+		reply.Type = "error"
+		if exc := core.AsException(err); exc != nil {
+			reply.Exception = exc.Args.Strings()
+			if exc.Name() == "signal" && len(exc.Args) > 1 && exc.Args[1].String() == "deadline" {
+				m.Timeouts.Add(1)
+				s.sm.timeouts.Add(1)
+			}
+		} else {
+			reply.Exception = []string{"error", "esd", err.Error()}
+		}
+	} else {
+		reply.Type = "result"
+		reply.Value = res.Strings()
+		reply.True = res.True()
+	}
+	s.fw.Write(reply)
+}

@@ -1,0 +1,40 @@
+#!/bin/sh
+# bench_server.sh - regenerate BENCH_server.json, the serving-layer
+# performance baseline (BenchmarkServerEval sequential/parallel and the
+# session-spawn cost behind the warm pool).
+#
+# Usage: scripts/bench_server.sh [benchtime]
+set -eu
+cd "$(dirname "$0")/.."
+benchtime="${1:-300ms}"
+
+out=$(go test -run=NONE -bench='ServerEval|ServerSessionSpawn' \
+	-benchtime="$benchtime" -count=1 .)
+echo "$out"
+
+echo "$out" | awk -v benchtime="$benchtime" '
+BEGIN { n = 0 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	iters[n] = $2
+	ns[n] = $3
+	names[n] = name
+	n++
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": \"server\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchmarks\": [\n"
+	for (k = 0; k < n; k++) {
+		printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}%s\n", \
+			names[k], iters[k], ns[k], (k < n - 1 ? "," : "")
+	}
+	printf "  ]\n"
+	printf "}\n"
+}' > BENCH_server.json
+echo "wrote BENCH_server.json"

@@ -2,7 +2,11 @@
 # check.sh - repository verification tiers.
 #
 #   tier 1 (default): go build + go test, the floor every change must hold
-#   tier 2 (-race):   adds go vet and the race detector over the full suite
+#   tier 2 (-race):   adds go vet, the race detector over the full suite
+#                     (including the 100-session esd soak test), and a
+#                     binary-level server soak: concurrent esc clients
+#                     against a race-enabled esd, asserting zero failed
+#                     frames and a clean drain on SIGTERM
 #
 # Usage: scripts/check.sh [-race]
 set -eu
@@ -18,5 +22,7 @@ if [ "${1:-}" = "-race" ]; then
 	go vet ./...
 	echo "== go test -race ./..."
 	go test -race ./...
+	echo "== server soak (esd -race + concurrent esc, SIGTERM drain)"
+	sh scripts/soak.sh
 fi
 echo "ok"
