@@ -1,9 +1,11 @@
 # Verification tiers: `make check` is the tier-1 floor (build + tests);
-# `make race` adds vet, the race detector, and the esd server soak;
-# `make bench` runs the dispatch-cache benchmarks that guard the native
-# cache speedups; `make bench-server` regenerates the serving baseline.
+# `make race` adds vet, the race detector, the tree-walker engine suite,
+# the serving bench gate, and the esd server soak; `make bench` runs the
+# dispatch-cache benchmarks that guard the native cache speedups;
+# `make bench-server` regenerates the serving baseline and
+# `make bench-check` gates against it (>25% ns/op regression fails).
 
-.PHONY: check race soak bench bench-server build
+.PHONY: check race soak bench bench-server bench-check build
 
 build:
 	go build ./...
@@ -22,3 +24,6 @@ bench:
 
 bench-server:
 	sh scripts/bench_server.sh
+
+bench-check:
+	sh scripts/bench_server.sh -check

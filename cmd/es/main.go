@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	es [-c command] [-v] [-no-tco] [file [args ...]]
+//	es [-c command] [-v] [-no-tco] [-nocompile] [file [args ...]]
 //
 // With no command or file, es runs interactively, driving the
 // %interactive-loop hook (which is itself written in es and can be
@@ -37,6 +37,7 @@ func run() int {
 		command    = flag.String("c", "", "execute `command` and exit")
 		version    = flag.Bool("v", false, "print version and exit")
 		noTCO      = flag.Bool("no-tco", false, "disable tail-call elimination")
+		noCompile  = flag.Bool("nocompile", false, "evaluate with the tree walker instead of the bytecode engine")
 		parseOnly  = flag.Bool("n", false, "parse input but do not execute it")
 		protected  = flag.Bool("p", false, "protected: do not import function definitions from the environment")
 		cacheStats = flag.Bool("cachestats", false, "report native cache hit/miss counters on exit")
@@ -57,6 +58,7 @@ func run() int {
 		Stderr:      os.Stderr,
 		Environ:     environ,
 		NoTailCalls: *noTCO,
+		NoCompile:   *noCompile,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "es: startup:", err)
@@ -99,7 +101,7 @@ func run() int {
 }
 
 // printCacheStats reports the native dispatch caches (path, parse,
-// decode, glob) to standard error, one line per cache.
+// compile, decode, glob) to standard error, one line per cache.
 func printCacheStats(sh *es.Shell) {
 	fmt.Fprintln(os.Stderr, "es: native cache statistics:")
 	for _, s := range sh.Interp().CacheStats() {

@@ -1,0 +1,213 @@
+package es
+
+// Differential testing of the two evaluation engines: every program is
+// run through the compiled bytecode engine and the tree walker, and the
+// two must agree on output, result, and exception shape.  The fuzz
+// target extends the same check to arbitrary inputs (seeded with the
+// syntax fuzzer's corpus shapes), with externals disabled so generated
+// programs cannot launch processes.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// diffOutcome is one engine's observable behaviour for a program.
+type diffOutcome struct {
+	output string
+	result string
+	errMsg string
+}
+
+const diffDeadlineReason = "difftest-deadline"
+
+// runEngine evaluates src on one engine, hermetically: no externals, a
+// private working directory, deterministic stand-ins for the
+// counter-reporting primitives, and a deadline so `forever {}` inputs
+// terminate.
+func runEngine(t *testing.T, src, dir string, nocompile bool, deadline time.Duration) diffOutcome {
+	t.Helper()
+	var buf bytes.Buffer
+	sh, err := New(Options{Stdout: &buf, Stderr: &buf, NoCompile: nocompile, Dir: dir})
+	if err != nil {
+		t.Fatalf("startup: %v", err)
+	}
+	sh.Interp().NoExternals = true
+	// These report process-global or wall-clock state that legitimately
+	// differs between two runs; pin them so they cannot cause spurious
+	// mismatches (dispatch itself is still exercised).
+	for _, name := range []string{"time", "cachestats", "serverstats"} {
+		sh.RegisterPrim(name, func(i *Interp, ctx *Ctx, args List) (List, error) {
+			return StrList("stubbed"), nil
+		})
+	}
+	done := make(chan struct{})
+	timer := time.AfterFunc(deadline, func() { close(done) })
+	defer timer.Stop()
+	sh.Interp().SetCancel(done, diffDeadlineReason)
+	res, rerr := sh.Run(src)
+	o := diffOutcome{output: buf.String()}
+	if rerr != nil {
+		o.errMsg = rerr.Error()
+	} else {
+		o.result = res.Flatten(" \x00 ")
+	}
+	// Each engine runs in its own private directory; scrub the path so
+	// error messages and echoed filenames compare equal.
+	o.output = strings.ReplaceAll(o.output, dir, "<dir>")
+	o.result = strings.ReplaceAll(o.result, dir, "<dir>")
+	o.errMsg = strings.ReplaceAll(o.errMsg, dir, "<dir>")
+	return o
+}
+
+// diffCompare runs src on both engines and fails on any observable
+// divergence.  It reports whether the comparison was performed (false
+// when a deadline fired, where the engines may legitimately stop at
+// different points).
+func diffCompare(t *testing.T, src string, deadline time.Duration) bool {
+	t.Helper()
+	compiled := runEngine(t, src, t.TempDir(), false, deadline)
+	walked := runEngine(t, src, t.TempDir(), true, deadline)
+	if strings.Contains(compiled.errMsg, diffDeadlineReason) ||
+		strings.Contains(walked.errMsg, diffDeadlineReason) {
+		return false
+	}
+	if compiled != walked {
+		t.Errorf("engines disagree on %q:\n compiled: %+v\n   walker: %+v", src, compiled, walked)
+	}
+	return true
+}
+
+// TestDifferentialEngines pins engine agreement over a battery of
+// programs covering every opcode, the word-evaluation fast paths, and
+// the exception machinery.
+func TestDifferentialEngines(t *testing.T) {
+	programs := []string{
+		// constants, grouping, sequencing
+		"result a b c",
+		"{result a; result b}",
+		"; ; ",
+		"{}",
+		// assignment and variables
+		"x = 1 2 3; echo $x; echo $#x; echo $x(2); echo $^x",
+		"x = a b; y = $x $x; echo $#y",
+		"x = (a b); echo $x(2 1)",
+		"x = ; echo $#x",
+		"echo $nosuchvar; echo $#nosuchvar",
+		"x = val; n = x; echo $$n",
+		// concatenation (and its failure shape)
+		"echo a^b; x = 1 2; echo p$x; echo $x^s",
+		"x = 1 2; y = 3 4 5; echo $x^$y",
+		"echo ()^a",
+		// let / local / for
+		"let (x = 1) {let (y = 2) {echo $x $y}}",
+		"x = outer; let (x = inner) {echo $x}; echo $x",
+		"x = outer; local (x = inner) {echo $x}; echo $x",
+		"for (i = a b c) echo $i",
+		"for (i = 1 2; j = x) echo $i $j",
+		"for (i = ) echo $i",
+		// match and extraction
+		"~ foo f*; echo $0",
+		"if {~ foo f*} {echo yes} {echo no}",
+		"if {~ foo b*} {echo yes} {echo no}",
+		"~~ foo.c *.c",
+		"echo <={~~ hello.txt *.*}",
+		"if {~ () ()} {echo empty-true}",
+		"x = abc; ~ $x a*; echo matched $0",
+		// not
+		"! result 0",
+		"! {result a}",
+		"!",
+		// closures, functions, higher-order use
+		"fn greet who {echo hello, $who}; greet world",
+		"f = @ x {result $x $x}; $f dup",
+		"fn apply cmd args {for (i = $args) $cmd $i}; apply @ x {echo got $x} 1 2",
+		"fn outer {fn-inner = @ {result nested}; inner}; outer",
+		// tail recursion through the trampoline
+		"fn count n {if {~ $n 0} {result done} {count <={%count-down $n}}}; fn-%count-down = @ n {result 0}; count 5",
+		// exceptions
+		"throw error src boom",
+		"catch @ e args {echo caught $e $args} {throw error here oops}",
+		"catch @ e {result rescued} {nosuchcommand}",
+		"fn f {return early; echo unreached}; f",
+		"for (i = 1 2 3) {if {~ $i 2} {break}; echo $i}",
+		// substitutions
+		"echo `{result a b}",
+		"echo pre`{result mid}post",
+		"echo <={result rich values}",
+		"x = <={result one}; echo $x",
+		// primitives, direct and spoofed
+		"$&result direct",
+		"echo <={$&count a b c}",
+		"$&nosuchprim",
+		"fn-%pathsearch = @ name {throw error %pathsearch spoofed $name}; catch @ e args {echo $args} {definitely-not-a-command}",
+		// quoting and glob-free wildcards against an empty directory
+		"echo 'a b'; echo a*z; echo '*'",
+		"echo [abc]x?",
+		// fsplit / flatten style library words
+		"echo <={%fsplit : a:b:c}",
+		// settors
+		"set-watched = @ {echo set to $*; result $*}; watched = v1; echo $watched",
+		// local with settor interplay
+		"set-v = @ {result $*}; v = init; local (v = tmp) {echo $v}; echo $v",
+		// deep word shapes
+		"echo (a (b c) d)",
+		"x = (1 2 3); echo $x(3)$x(1)",
+		"echo $#; echo $0",
+		// eval / dot-ish
+		"eval 'echo evaluated'",
+		"x = 'echo nested'; eval $x",
+		// whatis / var
+		"fn probe {result p}; echo <={%whatis probe}",
+		"var x",
+		// here-strings and redirection shells (hermetic: files in tmpdir)
+		"echo data > f; cat f",
+		"echo one > f; echo two >> f; cat f",
+		"cat < /dev/null",
+		// subscript error shape
+		"x = a b; echo $x(bad)",
+		// bad concatenation error shape through dynamic path
+		"y = 1 2; z = 3 4 5; echo $y^$z",
+		// externals disabled error shape (deterministic in both engines)
+		"/bin/definitely-not-here",
+		"nosuchcmd arg",
+	}
+	for _, src := range programs {
+		if !diffCompare(t, src, 5*time.Second) {
+			t.Logf("deadline hit, skipped: %q", src)
+		}
+	}
+}
+
+// FuzzDifferentialEval: both engines must agree on anything the parser
+// accepts.  Hermetic: no externals, private tmpdirs, deadline-bounded.
+func FuzzDifferentialEval(f *testing.F) {
+	seeds := []string{
+		"fn apply cmd args {for (i = $args) $cmd $i}",
+		"let (x = a; y = b) {echo $x $y}",
+		"catch @ e msg {throw $e} {result body}",
+		"echo $#x $$y $^z",
+		"x = ({result a} 'q w' $v(1 2) pre$mid.suf)",
+		"~ $subj a* [b-d]? 'lit'",
+		"x = 1 2; echo $x^s",
+		"echo `{result a b} <={result c}",
+		"throw error x y; echo unreached",
+		"for (i = 1 2 3) {if {~ $i 2} {break done}; echo $i}",
+		"$&result a; $&nosuchprim; $&count 1 2",
+		"! {~ a b}",
+		"local (x = 1) {let (y = $x) {result $y}}",
+		"a ^^ b",
+		"fn-%x = $&result; %x hooked",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1024 {
+			t.Skip("oversized input")
+		}
+		diffCompare(t, src, 2*time.Second)
+	})
+}

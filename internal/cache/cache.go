@@ -51,30 +51,39 @@ func (s Stats) String() string {
 		s.Name, s.Entries, s.Hits, s.Misses, s.Invalidations, s.HitRate()*100)
 }
 
-// Map is a bounded string-keyed cache.  When the map reaches its capacity
-// a batch of arbitrary entries is evicted; the workloads these caches
-// serve (command names, command sources, glob patterns) are heavily
-// skewed, so hot entries repopulate immediately and precise LRU bookkeeping
-// would cost more than it saves.
-type Map[V any] struct {
+// KeyMap is a bounded cache over any comparable key.  When the map
+// reaches its capacity a batch of arbitrary entries is evicted; the
+// workloads these caches serve (command names, command sources, glob
+// patterns, parsed blocks) are heavily skewed, so hot entries repopulate
+// immediately and precise LRU bookkeeping would cost more than it saves.
+type KeyMap[K comparable, V any] struct {
 	Counters
 	mu      sync.Mutex
 	max     int
-	entries map[string]V
+	entries map[K]V
 }
 
-// NewMap creates a cache holding at most max entries.
+// Map is the common string-keyed cache.
+type Map[V any] = KeyMap[string, V]
+
+// NewMap creates a string-keyed cache holding at most max entries.
 func NewMap[V any](name string, max int) *Map[V] {
+	return NewKeyMap[string, V](name, max)
+}
+
+// NewKeyMap creates a cache over an arbitrary comparable key type (the
+// compile cache keys by AST pointer) holding at most max entries.
+func NewKeyMap[K comparable, V any](name string, max int) *KeyMap[K, V] {
 	if max < 1 {
 		max = 1
 	}
-	m := &Map[V]{max: max, entries: make(map[string]V)}
+	m := &KeyMap[K, V]{max: max, entries: make(map[K]V)}
 	m.name = name
 	return m
 }
 
 // Get looks up key, counting a hit or a miss.
-func (m *Map[V]) Get(key string) (V, bool) {
+func (m *KeyMap[K, V]) Get(key K) (V, bool) {
 	m.mu.Lock()
 	v, ok := m.entries[key]
 	m.mu.Unlock()
@@ -87,7 +96,7 @@ func (m *Map[V]) Get(key string) (V, bool) {
 }
 
 // Put stores key → v, evicting arbitrary entries if the cache is full.
-func (m *Map[V]) Put(key string, v V) {
+func (m *KeyMap[K, V]) Put(key K, v V) {
 	m.mu.Lock()
 	if _, exists := m.entries[key]; !exists && len(m.entries) >= m.max {
 		// Evict an eighth of the cache (at least one entry) so a burst
@@ -109,7 +118,7 @@ func (m *Map[V]) Put(key string, v V) {
 }
 
 // Delete removes one entry, counting an invalidation if it was present.
-func (m *Map[V]) Delete(key string) {
+func (m *KeyMap[K, V]) Delete(key K) {
 	m.mu.Lock()
 	_, ok := m.entries[key]
 	if ok {
@@ -122,23 +131,23 @@ func (m *Map[V]) Delete(key string) {
 }
 
 // Flush drops every entry, counting each as an invalidation.
-func (m *Map[V]) Flush() {
+func (m *KeyMap[K, V]) Flush() {
 	m.mu.Lock()
 	n := len(m.entries)
-	m.entries = make(map[string]V)
+	m.entries = make(map[K]V)
 	m.mu.Unlock()
 	m.invalidations.Add(int64(n))
 }
 
 // Len reports the number of cached entries.
-func (m *Map[V]) Len() int {
+func (m *KeyMap[K, V]) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.entries)
 }
 
 // Stats snapshots the cache's counters.
-func (m *Map[V]) Stats() Stats {
+func (m *KeyMap[K, V]) Stats() Stats {
 	return Stats{
 		Name:          m.name,
 		Entries:       m.Len(),

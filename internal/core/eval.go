@@ -84,6 +84,13 @@ func (i *Interp) EvalBlock(ctx *Ctx, b *syntax.Block, env *Binding) (List, error
 	if b == nil || len(b.Cmds) == 0 {
 		return List{}, nil
 	}
+	// The compiled engine is the default; blocks the compiler cannot
+	// lower (and every block under -nocompile) take the tree walker.
+	if !i.NoCompile {
+		if u := unitFor(b); u != nil {
+			return i.execSeq(ctx, u.Seq, env)
+		}
+	}
 	inner := ctx.NonTail()
 	for _, c := range b.Cmds[:len(b.Cmds)-1] {
 		i.Alloc.command()

@@ -20,6 +20,9 @@ func (i *Interp) runBuiltin(ctx *Ctx, fn BuiltinFunc, name string, args List) (L
 // runExternal resolves name — through the (spoofable) %pathsearch hook
 // when it is not already a path — and executes it as a real process.
 func (i *Interp) runExternal(ctx *Ctx, env *Binding, name string, args List) (List, error) {
+	if i.NoExternals {
+		return nil, ErrorExc(name + ": externals disabled")
+	}
 	file := name
 	if !strings.ContainsRune(name, '/') {
 		found, err := i.CallHook(ctx.NonTail(), "%pathsearch", StrList(name))

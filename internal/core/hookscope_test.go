@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the hook scoping rule (MANUAL.md §9): a typed command
+// name resolves fn-name through the lexical environment, but when the
+// interpreter itself fires a %hook it consults only the global
+// variable, matching the C implementation's varlookup(name, NULL).
+
+// A let-bound fn-%hook spoofs direct calls of the hook name inside the
+// let body — the lexical half of the rule.
+func TestHookScopeLexicalBindingSpoofsDirectCalls(t *testing.T) {
+	i, ctx, out := harness(t)
+	eval(t, i, ctx,
+		"let (fn-%mungehook = @ {result let-bound}) {echo <={%mungehook}}")
+	if got := out.String(); !strings.Contains(got, "let-bound") {
+		t.Errorf("direct call ignored lexical fn- binding: %q", got)
+	}
+}
+
+// The same let-bound hook is invisible to interpreter dispatch:
+// CallHook inside the lexical extent still resolves globally, so path
+// search for an unknown command uses the global %pathsearch even while
+// a lexical one is in scope.
+func TestHookScopeInterpreterDispatchIgnoresLexical(t *testing.T) {
+	i, ctx, out := harness(t)
+	eval(t, i, ctx, `
+		fn %pathsearch n { throw error %pathsearch global-hook $n }
+		let (fn-%pathsearch = @ n { throw error %pathsearch lexical-hook $n }) {
+			catch @ e from msg {echo dispatched-by $msg} {no-such-command-xyz}
+		}
+	`)
+	got := out.String()
+	if !strings.Contains(got, "dispatched-by global-hook") {
+		t.Errorf("interpreter dispatch did not use the global hook: %q", got)
+	}
+	if strings.Contains(got, "lexical-hook") {
+		t.Errorf("interpreter dispatch leaked the lexical binding: %q", got)
+	}
+}
+
+// local() assigns the global, so it is the supported way to spoof a
+// hook for a dynamic extent — and the spoof must be gone afterwards.
+func TestHookScopeLocalSpoofsDispatchAndRestores(t *testing.T) {
+	i, ctx, out := harness(t)
+	eval(t, i, ctx, `
+		fn %pathsearch n { throw error %pathsearch original $n }
+		local (fn-%pathsearch = @ n { throw error %pathsearch local-spoof $n }) {
+			catch @ e from msg {echo inside $msg} {cmd-one}
+		}
+		catch @ e from msg {echo outside $msg} {cmd-two}
+	`)
+	got := out.String()
+	if !strings.Contains(got, "inside local-spoof") {
+		t.Errorf("local spoof did not reach interpreter dispatch: %q", got)
+	}
+	if !strings.Contains(got, "outside original") {
+		t.Errorf("local spoof was not restored: %q", got)
+	}
+}
+
+// CallHook from Go embedding follows the same globals-only rule.
+func TestCallHookGlobalsOnly(t *testing.T) {
+	i, ctx, _ := harness(t)
+	eval(t, i, ctx, "fn %scopeprobe {result global}")
+	res, err := i.CallHook(ctx, "%scopeprobe", nil)
+	if err != nil || res.Flatten("") != "global" {
+		t.Fatalf("CallHook = %v, %v", res, err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"es/internal/cache"
+	"es/internal/compile"
 	"es/internal/glob"
 	"es/internal/syntax"
 )
@@ -39,6 +40,22 @@ type Interp struct {
 	// TCO can be disabled to measure the paper's "tail calls consume
 	// stack space" deficiency (the E7 ablation).
 	NoTailCalls bool
+
+	// NoCompile keeps this interpreter on the tree walker (es -nocompile,
+	// ES_NOCOMPILE=1): the escape hatch for the bytecode engine and the
+	// reference half of the differential tests.
+	NoCompile bool
+
+	// NoExternals makes command dispatch fail with a deterministic error
+	// instead of executing real processes — for hermetic harnesses like
+	// the differential fuzzer, where arbitrary generated input must not
+	// launch programs.
+	NoExternals bool
+
+	// primTab is the flat primitive dispatch table indexed by
+	// compile.InternPrim indices.  It is shared by reference with forks,
+	// like the prims map it mirrors.
+	primTab *[]PrimFunc
 
 	// ExitFunc, when set, makes $&exit terminate the process like the C
 	// implementation's exit(2) call.  It is deliberately not inherited
@@ -158,6 +175,8 @@ func New() *Interp {
 		intr:      new(atomic.Bool),
 		cancel:    new(atomic.Pointer[cancelState]),
 		maxDepth:  10000,
+		NoCompile: os.Getenv("ES_NOCOMPILE") != "",
+		primTab:   new([]PrimFunc),
 	}
 }
 
@@ -166,6 +185,15 @@ func New() *Interp {
 // underlying shell service, even when its hook has been reassigned."
 func (i *Interp) RegisterPrim(name string, fn PrimFunc) {
 	i.prims[name] = fn
+	// Mirror the registration into the flat table compiled code
+	// dispatches through.
+	idx := compile.InternPrim(name)
+	t := *i.primTab
+	for idx >= len(t) {
+		t = append(t, nil)
+	}
+	t[idx] = fn
+	*i.primTab = t
 }
 
 // RegisterBuiltin registers a hermetic utility command, found after fn-
@@ -212,6 +240,9 @@ func (i *Interp) Fork() *Interp {
 		jobs:        i.jobs,
 		parent:      i,
 		NoTailCalls: i.NoTailCalls,
+		NoCompile:   i.NoCompile,
+		NoExternals: i.NoExternals,
+		primTab:     i.primTab,
 		maxDepth:    i.maxDepth,
 		Reader:      i.Reader,
 		// A fork may assign $path without the parent seeing the settor
@@ -356,18 +387,20 @@ func (i *Interp) PathCache() *cache.Map[string] { return i.pathCache }
 func (i *Interp) FlushCaches() {
 	i.pathCache.Flush()
 	FlushParseCache()
+	FlushCompileCache()
 	FlushDecodeCache()
 	glob.FlushCache()
 }
 
 // CacheStats snapshots every native cache visible to this interpreter, in
-// a fixed order (path, parse, decode, glob).  It is the AllocStats-style
-// observability surface for the dispatch caches, reported by $&cachestats
-// and the es -cachestats flag.
+// a fixed order (path, parse, compile, decode, glob).  It is the
+// AllocStats-style observability surface for the dispatch caches, reported
+// by $&cachestats and the es -cachestats flag.
 func (i *Interp) CacheStats() []cache.Stats {
 	return []cache.Stats{
 		i.pathCache.Stats(),
 		parseCache.Stats(),
+		compileCache.Stats(),
 		decodeCache.Stats(),
 		glob.CacheStats(),
 	}

@@ -14,6 +14,16 @@ type varSlot struct {
 	noexport bool
 }
 
+// phantom reports a slot that only records noexport status for a name
+// that has never been assigned.  Every assignment path stores a non-nil
+// value (evalAssign normalizes empty to List{}, SetVarRaw deletes on
+// nil, lazy decode always yields a list), so a nil-value non-lazy slot
+// can only come from SetNoExport on an unset name and must not make the
+// variable visible.
+func (s *varSlot) phantom() bool {
+	return s.value == nil && !s.lazy
+}
+
 // Var returns the value of the global variable name (nil if unset).
 func (i *Interp) Var(name string) List {
 	s, ok := i.vars[name]
@@ -27,16 +37,23 @@ func (i *Interp) Var(name string) List {
 	return s.value
 }
 
-// Defined reports whether a global variable exists (even with a nil value).
+// Defined reports whether a global variable exists.  Slots that merely
+// record a noexport mark for a never-assigned name do not count: before
+// this check, SetNoExport on an unset name made Defined report a
+// variable that no assignment ever created.
 func (i *Interp) Defined(name string) bool {
-	_, ok := i.vars[name]
-	return ok
+	s, ok := i.vars[name]
+	return ok && !s.phantom()
 }
 
-// VarNames returns the defined global variable names, sorted.
+// VarNames returns the defined global variable names, sorted.  Phantom
+// noexport-only slots are omitted, matching Defined.
 func (i *Interp) VarNames() []string {
 	names := make([]string, 0, len(i.vars))
-	for n := range i.vars {
+	for n, s := range i.vars {
+		if s.phantom() {
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)

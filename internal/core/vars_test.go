@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// SetNoExport on a name that was never assigned used to create a real
+// varSlot, so Defined reported true and VarNames listed a variable no
+// assignment ever created.  The mark must be remembered without making
+// the variable visible.
+func TestSetNoExportUnsetNameIsNotDefined(t *testing.T) {
+	i := New()
+	i.SetNoExport("ghost")
+	if i.Defined("ghost") {
+		t.Error("SetNoExport on an unset name made Defined report true")
+	}
+	for _, n := range i.VarNames() {
+		if n == "ghost" {
+			t.Error("SetNoExport on an unset name made VarNames list it")
+		}
+	}
+	if v := i.Var("ghost"); v != nil {
+		t.Errorf("Var on a noexport-marked unset name = %v, want nil", v)
+	}
+	// The mark itself must survive: a later assignment defines the
+	// variable normally but keeps it out of the environment.
+	i.SetVarRaw("ghost", StrList("now set"))
+	if !i.Defined("ghost") {
+		t.Error("assignment after SetNoExport did not define the variable")
+	}
+	found := false
+	for _, n := range i.VarNames() {
+		if n == "ghost" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("assigned noexport variable missing from VarNames")
+	}
+	for _, kv := range i.ExportEnv() {
+		if strings.HasPrefix(kv, "ghost=") {
+			t.Errorf("noexport variable exported: %q", kv)
+		}
+	}
+}
+
+// The noexport mark (phantom or not) must survive Fork, and a phantom
+// slot must stay invisible in the child too.
+func TestSetNoExportSurvivesFork(t *testing.T) {
+	i := New()
+	i.SetNoExport("ghost")
+	i.SetVarRaw("vis", StrList("v"))
+	i.SetNoExport("vis")
+	child := i.Fork()
+	if child.Defined("ghost") {
+		t.Error("phantom noexport slot became Defined in fork")
+	}
+	child.SetVarRaw("ghost", StrList("x"))
+	for _, kv := range child.ExportEnv() {
+		if strings.HasPrefix(kv, "ghost=") || strings.HasPrefix(kv, "vis=") {
+			t.Errorf("noexport variable exported from fork: %q", kv)
+		}
+	}
+}

@@ -8,12 +8,15 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 )
 
-// latBuckets is the histogram size: bucket k counts evals with latency in
-// [2^(k-1), 2^k) microseconds, so the last bucket tops out past an hour.
+// latBuckets is the histogram size.  Bucket 0 counts sub-microsecond
+// evals — the interval [0µs, 1µs) — and bucket k for k ≥ 1 counts
+// [2^(k-1), 2^k) microseconds; the final bucket also absorbs anything
+// slower than its lower edge, which is already past an hour.
 const latBuckets = 40
 
 // Metrics is the server-wide counter set.  All fields are safe for
@@ -31,9 +34,14 @@ type Metrics struct {
 	lat [latBuckets]atomic.Int64
 }
 
-// Observe records one eval's wall-clock latency.
+// Observe records one eval's wall-clock latency.  Sub-microsecond
+// evals land in bucket 0; negative durations (a clock stepped backwards
+// mid-eval) are clamped there too rather than skewing a real bucket.
 func (m *Metrics) Observe(d time.Duration) {
 	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
 	k := 0
 	for us > 0 && k < latBuckets-1 {
 		us >>= 1
@@ -42,8 +50,27 @@ func (m *Metrics) Observe(d time.Duration) {
 	m.lat[k].Add(1)
 }
 
-// Quantile returns an upper bound on the q-quantile (q in [0,1]) of
-// observed latencies; zero when nothing has been observed.
+// bucketLower and bucketUpper are the documented edges of bucket k:
+// [0, 1µs) for bucket 0, [2^(k-1), 2^k) µs for k ≥ 1.
+func bucketLower(k int) time.Duration {
+	if k == 0 {
+		return 0
+	}
+	return time.Duration(int64(1)<<uint(k-1)) * time.Microsecond
+}
+
+func bucketUpper(k int) time.Duration {
+	return time.Duration(int64(1)<<uint(k)) * time.Microsecond
+}
+
+// Quantile returns a bound on the q-quantile (q clamped to [0,1]) of
+// observed latencies; zero when nothing has been observed.  For q > 0
+// it reports the upper edge of the bucket holding the ceil(q·n)-th
+// fastest observation — an upper bound with the histogram's ~2x
+// resolution.  q = 0 asks for the minimum, so it reports the lower edge
+// of the first non-empty bucket instead: the old rank formula returned
+// that bucket's upper edge, claiming a "minimum" larger than an
+// observation that was actually made.
 func (m *Metrics) Quantile(q float64) time.Duration {
 	var counts [latBuckets]int64
 	var total int64
@@ -54,15 +81,25 @@ func (m *Metrics) Quantile(q float64) time.Duration {
 	if total == 0 {
 		return 0
 	}
-	rank := int64(q*float64(total-1)) + 1
+	if q <= 0 {
+		for k, c := range counts {
+			if c > 0 {
+				return bucketLower(k)
+			}
+		}
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank > total {
+		rank = total
+	}
 	var seen int64
 	for k, c := range counts {
 		seen += c
 		if seen >= rank {
-			return time.Duration(int64(1)<<uint(k)) * time.Microsecond
+			return bucketUpper(k)
 		}
 	}
-	return time.Duration(int64(1)<<uint(latBuckets-1)) * time.Microsecond
+	return bucketUpper(latBuckets - 1)
 }
 
 // Words renders the counters as name:value words, the wire/script surface

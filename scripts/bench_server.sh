@@ -1,16 +1,72 @@
 #!/bin/sh
-# bench_server.sh - regenerate BENCH_server.json, the serving-layer
-# performance baseline (BenchmarkServerEval sequential/parallel and the
-# session-spawn cost behind the warm pool).
+# bench_server.sh - the serving-layer performance baseline
+# (BenchmarkServerEval sequential/parallel and the session-spawn cost
+# behind the warm pool).
 #
-# Usage: scripts/bench_server.sh [benchtime]
+# Usage: scripts/bench_server.sh [benchtime]          regenerate BENCH_server.json
+#        scripts/bench_server.sh -check [benchtime]   compare against BENCH_server.json,
+#                                                     failing on a >25% ns/op regression
 set -eu
 cd "$(dirname "$0")/.."
+
+mode=write
+if [ "${1:-}" = "-check" ]; then
+	mode=check
+	shift
+fi
 benchtime="${1:-300ms}"
 
 out=$(go test -run=NONE -bench='ServerEval|ServerSessionSpawn' \
 	-benchtime="$benchtime" -count=1 .)
 echo "$out"
+
+if [ "$mode" = "check" ]; then
+	echo "$out" | awk -v basefile=BENCH_server.json '
+	BEGIN {
+		# The baseline file is the exact shape this script writes, so a
+		# line-oriented scrape is reliable: one benchmark per line.
+		while ((getline line < basefile) > 0) {
+			if (match(line, /"name": "[^"]*"/)) {
+				name = substr(line, RSTART + 9, RLENGTH - 10)
+				if (match(line, /"ns_per_op": [0-9]+/)) {
+					base[name] = substr(line, RSTART + 13, RLENGTH - 13) + 0
+				}
+			}
+		}
+		close(basefile)
+	}
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		sub(/^Benchmark/, "", name)
+		cur[name] = $3 + 0
+	}
+	END {
+		if (length(base) == 0) {
+			print "bench-check: no baseline in " basefile
+			exit 1
+		}
+		status = 0
+		for (name in base) {
+			if (!(name in cur)) {
+				printf "bench-check: %s missing from current run\n", name
+				status = 1
+				continue
+			}
+			limit = base[name] * 1.25
+			verdict = "ok"
+			if (cur[name] > limit) {
+				verdict = "REGRESSION"
+				status = 1
+			}
+			printf "bench-check: %-28s base %8d ns/op  now %8d ns/op  limit %8.0f  %s\n", \
+				name, base[name], cur[name], limit, verdict
+		}
+		exit status
+	}'
+	echo "bench-check ok (within 25% of BENCH_server.json)"
+	exit 0
+fi
 
 echo "$out" | awk -v benchtime="$benchtime" '
 BEGIN { n = 0 }
