@@ -28,6 +28,7 @@ import (
 
 	"es/internal/core"
 	"es/internal/gc"
+	"es/internal/image"
 	"es/internal/server"
 )
 
@@ -608,6 +609,50 @@ func BenchmarkServerSessionSpawn(b *testing.B) {
 		if i.Spawn() == nil {
 			b.Fatal("spawn failed")
 		}
+	}
+}
+
+// benchImage captures a session image carrying a realistic amount of
+// user state, for the pre-baked-pool benchmarks.
+func benchImage(b *testing.B) *image.Image {
+	loaded := benchShell(b)
+	src := "fn work x {result $x $x}; fn-%pathsearch = @ n {result /spoof/$n}\n"
+	for k := 0; k < 16; k++ {
+		src += fmt.Sprintf("state%d = one two three four\n", k)
+	}
+	if _, err := loaded.Run(src); err != nil {
+		b.Fatal(err)
+	}
+	return image.Capture(loaded.Interp(), nil)
+}
+
+// BenchmarkServerSessionFromImage is the pre-baked pool: the image is
+// restored once onto a template and sessions are stamped out with Spawn.
+// The point of pre-baking is that this tracks BenchmarkServerSessionSpawn
+// rather than BenchmarkServerSessionRestore — the restore cost is paid
+// once, not per session.
+func BenchmarkServerSessionFromImage(b *testing.B) {
+	template := benchShell(b)
+	newSession := server.NewSessionFromImage(template.Interp(), benchImage(b))
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s, err := newSession()
+		if err != nil || s == nil {
+			b.Fatal("session from image failed")
+		}
+	}
+}
+
+// BenchmarkServerSessionRestore is the alternative pre-baking replaces:
+// restoring the image onto every session individually.
+func BenchmarkServerSessionRestore(b *testing.B) {
+	template := benchShell(b)
+	img := benchImage(b)
+	i := template.Interp()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s := i.Spawn()
+		img.Restore(s)
 	}
 }
 

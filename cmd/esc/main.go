@@ -5,15 +5,27 @@
 //
 //	esc [-socket path] [-deadline ms] 'command ...'
 //	esc -stats
+//	esc [-restore file] [-migrate socket] [-snap file] ['command ...']
 //
 // The command's captured stdout and stderr are replayed to esc's own
 // streams; the exit status follows the es convention (0 for a true
 // result, the numeric value for a small-integer result, 1 otherwise).
 // An uncaught exception — including `signal deadline` when the request
 // overran -deadline — is reported on stderr with exit status 1.
+//
+// The session-image flags compose in a fixed order on one connection,
+// regardless of where they appear on the command line: -restore loads a
+// saved image into the fresh session first, -migrate then moves the
+// session to another daemon's socket, the command (if any) runs next,
+// and -snap checkpoints the final state to a file last.  So `esc
+// -restore s.esimg 'work'` resumes a checkpoint, `esc -snap s.esimg
+// 'setup'` runs setup and then saves the result, and `esc -restore
+// s.esimg -migrate /run/esd2.sock -snap s.esimg 'work'` does all three
+// across two daemons.
 package main
 
 import (
+	"encoding/base64"
 	"flag"
 	"fmt"
 	"net"
@@ -40,13 +52,16 @@ func defaultSocket() string {
 
 func run() int {
 	var (
-		socket     = flag.String("socket", defaultSocket(), "esd unix socket `path` (or $ESD_SOCKET)")
-		deadlineMS = flag.Int64("deadline", 0, "per-request deadline in `ms` (0 = server default)")
-		stats      = flag.Bool("stats", false, "print server statistics and exit")
+		socket      = flag.String("socket", defaultSocket(), "esd unix socket `path` (or $ESD_SOCKET)")
+		deadlineMS  = flag.Int64("deadline", 0, "per-request deadline in `ms` (0 = server default)")
+		stats       = flag.Bool("stats", false, "print server statistics and exit")
+		snapFile    = flag.String("snap", "", "checkpoint the session image to `file` after the command")
+		restoreFile = flag.String("restore", "", "load the session image from `file` before the command")
+		migrateSock = flag.String("migrate", "", "move the session to the daemon at `socket` before the command")
 	)
 	flag.Parse()
-	if !*stats && flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: esc [-socket path] [-deadline ms] 'command ...' | esc -stats")
+	if !*stats && flag.NArg() == 0 && *snapFile == "" && *restoreFile == "" && *migrateSock == "" {
+		fmt.Fprintln(os.Stderr, "usage: esc [-socket path] [-deadline ms] [-restore file] [-migrate socket] [-snap file] ['command ...'] | esc -stats")
 		return 2
 	}
 
@@ -58,45 +73,94 @@ func run() int {
 	defer conn.Close()
 	fr, fw := server.NewClientConn(conn)
 
-	req := &server.Frame{ID: 1}
-	if *stats {
-		req.Type = "stats"
-	} else {
-		req.Type = "eval"
-		req.Src = strings.Join(flag.Args(), " ")
-		req.DeadlineMS = *deadlineMS
-	}
-	if err := fw.Write(req); err != nil {
-		fmt.Fprintln(os.Stderr, "esc:", err)
-		return 1
+	// roundTrip submits one frame and returns the daemon's answer.
+	id := int64(0)
+	roundTrip := func(req *server.Frame) (*server.Frame, error) {
+		id++
+		req.ID = id
+		if err := fw.Write(req); err != nil {
+			return nil, err
+		}
+		f, err := fr.Read()
+		if err != nil {
+			return nil, err
+		}
+		if f.Type == "bye" {
+			return nil, fmt.Errorf("server closed the session: %s", f.Reason)
+		}
+		if f.Type == "error" && req.Type != "eval" {
+			return nil, fmt.Errorf("%s: %s", req.Type, strings.Join(f.Exception, " "))
+		}
+		return f, nil
 	}
 
-	for {
-		f, err := fr.Read()
+	if *stats {
+		f, err := roundTrip(&server.Frame{Type: "stats"})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "esc:", err)
 			return 1
 		}
-		switch f.Type {
-		case "result":
-			os.Stdout.WriteString(f.Stdout)
-			os.Stderr.WriteString(f.Stderr)
-			return statusOf(f)
-		case "error":
-			os.Stdout.WriteString(f.Stdout)
-			os.Stderr.WriteString(f.Stderr)
-			fmt.Fprintln(os.Stderr, "esc: uncaught exception:", strings.Join(f.Exception, " "))
+		for _, w := range f.Stats {
+			fmt.Println(w)
+		}
+		return 0
+	}
+
+	// The image operations compose in a fixed order: restore the saved
+	// state first, migrate the (possibly restored) session next, run the
+	// command on whichever daemon now owns it, snap the final state last.
+	if *restoreFile != "" {
+		data, err := os.ReadFile(*restoreFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esc:", err)
 			return 1
-		case "stats":
-			for _, w := range f.Stats {
-				fmt.Println(w)
-			}
-			return 0
-		case "bye":
-			fmt.Fprintln(os.Stderr, "esc: server closed the session:", f.Reason)
+		}
+		if _, err := roundTrip(&server.Frame{Type: "restore",
+			Image: base64.StdEncoding.EncodeToString(data)}); err != nil {
+			fmt.Fprintln(os.Stderr, "esc:", err)
 			return 1
 		}
 	}
+	if *migrateSock != "" {
+		if _, err := roundTrip(&server.Frame{Type: "migrate", Socket: *migrateSock}); err != nil {
+			fmt.Fprintln(os.Stderr, "esc:", err)
+			return 1
+		}
+	}
+	status := 0
+	if flag.NArg() > 0 {
+		f, err := roundTrip(&server.Frame{Type: "eval",
+			Src: strings.Join(flag.Args(), " "), DeadlineMS: *deadlineMS})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esc:", err)
+			return 1
+		}
+		os.Stdout.WriteString(f.Stdout)
+		os.Stderr.WriteString(f.Stderr)
+		if f.Type == "error" {
+			fmt.Fprintln(os.Stderr, "esc: uncaught exception:", strings.Join(f.Exception, " "))
+			status = 1
+		} else {
+			status = statusOf(f)
+		}
+	}
+	if *snapFile != "" {
+		f, err := roundTrip(&server.Frame{Type: "snap"})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esc:", err)
+			return 1
+		}
+		data, err := base64.StdEncoding.DecodeString(f.Image)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esc: snap:", err)
+			return 1
+		}
+		if err := os.WriteFile(*snapFile, data, 0o600); err != nil {
+			fmt.Fprintln(os.Stderr, "esc:", err)
+			return 1
+		}
+	}
+	return status
 }
 
 // statusOf maps a result frame to an exit status the way cmd/es maps a

@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	esd [-socket path] [-pool n] [-max n] [-deadline ms] [-drain-timeout s] [-quiet]
+//	esd [-socket path] [-template image] [-pool n] [-max n] [-deadline ms] [-drain-timeout s] [-quiet]
 //
 // Each session owns one interpreter spawned from a warm template (shell
 // state, including function definitions, arrives through esd's own
-// environment, exactly as for es itself).  A per-request deadline —
+// environment, exactly as for es itself).  With -template, the warm pool
+// is instead pre-baked from a session image (written by `snapshot` or an
+// esc snap frame): every session starts with that image's variables,
+// functions, and spoofed hooks already installed.  A per-request deadline —
 // the frame's deadline_ms, or -deadline as the default — surfaces inside
 // the script as the catchable exception `signal deadline`.  SIGTERM or
 // SIGINT triggers a graceful drain: stop accepting, answer every request
@@ -28,6 +31,7 @@ import (
 
 	"es"
 	"es/internal/core"
+	"es/internal/image"
 	"es/internal/server"
 )
 
@@ -47,6 +51,7 @@ func defaultSocket() string {
 func run() int {
 	var (
 		socket       = flag.String("socket", defaultSocket(), "unix socket `path` to serve on")
+		templateImg  = flag.String("template", "", "session `image` to pre-bake pool interpreters from")
 		poolSize     = flag.Int("pool", 4, "warm pre-spawned interpreters")
 		maxConc      = flag.Int("max", runtime.GOMAXPROCS(0), "max concurrent evaluations")
 		deadlineMS   = flag.Int("deadline", 0, "default per-request deadline in `ms` (0 = none)")
@@ -68,6 +73,18 @@ func run() int {
 		return 1
 	}
 
+	newSession := func() (*core.Interp, error) {
+		return template.Interp().Spawn(), nil
+	}
+	if *templateImg != "" {
+		img, err := image.ReadFile(*templateImg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esd: template:", err)
+			return 1
+		}
+		newSession = server.NewSessionFromImage(template.Interp(), img)
+	}
+
 	logf := func(string, ...any) {}
 	if !*quiet {
 		logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -78,10 +95,8 @@ func run() int {
 		PoolSize:        *poolSize,
 		MaxConcurrent:   *maxConc,
 		DefaultDeadline: time.Duration(*deadlineMS) * time.Millisecond,
-		NewSession: func() (*core.Interp, error) {
-			return template.Interp().Spawn(), nil
-		},
-		Logf: logf,
+		NewSession:      newSession,
+		Logf:            logf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "esd:", err)

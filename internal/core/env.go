@@ -444,70 +444,160 @@ func scanClosureHeader(s string) (inner, rest string, ok bool) {
 }
 
 // decodeBindings parses the %closure binding list "a=b;c=d" into an
-// environment chain.
+// environment chain.  The grammar is exactly what EncodeClosure emits —
+// names, '=', and space-separated terms that are quoted strings, $&
+// primitives, or (possibly %closure-prefixed) lambdas — so it is scanned
+// by hand rather than through the surface parser: %closure(...) is an
+// encoding form, not shell syntax, and routing the list through a
+// synthetic `let` silently dropped the whole environment whenever a
+// captured value was itself a closure with captures.
 func (i *Interp) decodeBindings(inner string) *Binding {
-	if strings.TrimSpace(inner) == "" {
-		return nil
-	}
-	blk, err := syntax.Parse("let (" + inner + ") {}")
-	if err != nil {
-		return nil
-	}
-	let, ok := blk.Cmds[0].(*syntax.Let)
-	if !ok {
-		return nil
-	}
 	var env *Binding
-	for _, b := range let.Bindings {
-		name, ok := b.Name.LitText()
-		if !ok {
+	for _, bind := range splitOutside(inner, ';') {
+		eq := strings.IndexByte(bind, '=')
+		if eq <= 0 {
 			continue
 		}
+		name := bind[:eq]
 		var value List
-		for _, w := range b.Values {
-			value = append(value, i.staticWord(w, env)...)
+		rest := bind[eq+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if rest == "" {
+				break
+			}
+			if rest[0] == '@' || strings.HasPrefix(rest, "%closure(") {
+				if span, tail, ok := scanClosureTerm(rest); ok {
+					if t, tok := i.decodeTerm(span); tok {
+						value = append(value, t)
+						rest = tail
+						continue
+					}
+				}
+			}
+			var word string
+			word, rest = scanWord(rest)
+			if strings.HasPrefix(word, "$&") {
+				value = append(value, Term{Prim: word[2:]})
+				continue
+			}
+			value = append(value, Term{Str: unquoteWord(word)})
 		}
 		env = &Binding{Name: name, Value: value, Next: env}
 	}
 	return env
 }
 
-// staticWord evaluates a binding word without running any code: literals
-// and lambdas only (the only things EncodeClosure emits).
-func (i *Interp) staticWord(w *syntax.Word, env *Binding) List {
-	var out List
-	for _, part := range w.Parts {
-		switch part := part.(type) {
-		case *syntax.Lit:
-			out = append(out, Term{Str: part.Text})
-		case *syntax.Prim:
-			out = append(out, Term{Prim: part.Name})
-		case *syntax.LambdaPart:
-			rw := syntax.Rewrite(part.Lambda.Body).(*syntax.Block)
-			out = append(out, Term{Closure: &Closure{
-				Params:    part.Lambda.Params,
-				HasParams: part.Lambda.HasParams,
-				Body:      rw,
-				Env:       env,
-			}})
+// splitOutside splits s at sep, ignoring separators inside quotes,
+// parens, and braces.
+func splitOutside(s string, sep byte) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth, start := 0, 0
+	for k := 0; k < len(s); k++ {
+		switch s[k] {
+		case '\'':
+			k = skipQuoted(s, k)
+		case '(', '{':
+			depth++
+		case ')', '}':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:k])
+				start = k + 1
+			}
 		}
 	}
-	// Adjacent literal parts of one word merge.
-	if len(out) > 1 {
-		allStr := true
-		for _, t := range out {
-			if t.Closure != nil || t.Prim != "" {
-				allStr = false
+	return append(out, s[start:])
+}
+
+// skipQuoted advances k from an opening quote at s[k] to its closing
+// quote ('' is an escaped quote), returning the index of the close.
+func skipQuoted(s string, k int) int {
+	for k++; k < len(s); k++ {
+		if s[k] == '\'' {
+			if k+1 < len(s) && s[k+1] == '\'' {
+				k++
+				continue
+			}
+			break
+		}
+	}
+	return k
+}
+
+// scanClosureTerm splits off one encoded closure term — an optional
+// %closure(...) header followed by an @-lambda — from the front of s.
+func scanClosureTerm(s string) (term, rest string, ok bool) {
+	k := 0
+	if strings.HasPrefix(s, "%closure(") {
+		_, tail, hok := scanClosureHeader(s[len("%closure("):])
+		if !hok {
+			return "", "", false
+		}
+		k = len(s) - len(tail)
+	}
+	// After the header: "@ params... {body}"; the term ends at the brace
+	// matching the body's opening one.
+	depth, seenBrace := 0, false
+	for ; k < len(s); k++ {
+		switch s[k] {
+		case '\'':
+			k = skipQuoted(s, k)
+		case '{', '(':
+			depth++
+			if s[k] == '{' {
+				seenBrace = true
+			}
+		case '}', ')':
+			depth--
+			if depth == 0 && seenBrace && s[k] == '}' {
+				return s[:k+1], s[k+1:], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// scanWord returns one space-delimited word (quote-aware) and the rest.
+func scanWord(s string) (word, rest string) {
+	for k := 0; k < len(s); k++ {
+		switch s[k] {
+		case '\'':
+			k = skipQuoted(s, k)
+		case ' ':
+			return s[:k], s[k+1:]
+		}
+	}
+	return s, ""
+}
+
+// unquoteWord reverses QuoteString: quoted segments lose their quotes,
+// and a doubled quote inside one becomes a single quote.
+func unquoteWord(w string) string {
+	if !strings.ContainsRune(w, '\'') {
+		return w
+	}
+	var b strings.Builder
+	for k := 0; k < len(w); k++ {
+		if w[k] != '\'' {
+			b.WriteByte(w[k])
+			continue
+		}
+		for k++; k < len(w); k++ {
+			if w[k] == '\'' {
+				if k+1 < len(w) && w[k+1] == '\'' {
+					b.WriteByte('\'')
+					k++
+					continue
+				}
 				break
 			}
-		}
-		if allStr {
-			var b strings.Builder
-			for _, t := range out {
-				b.WriteString(t.Str)
-			}
-			return List{Term{Str: b.String()}}
+			b.WriteByte(w[k])
 		}
 	}
-	return out
+	return b.String()
 }

@@ -1,0 +1,70 @@
+package core
+
+import "sort"
+
+// Session snapshot support.  The paper's environment trick — every
+// definable value, closures included, unparses to a string — means an
+// interpreter's entire definable state already has a textual
+// serialization.  SnapshotVars and RestoreVars are that trick productized:
+// they capture and re-install the variable table (which holds everything
+// the user can define: variables, fn- functions, set- settors, and the
+// spoofable fn-%hooks) through the same encode/decode machinery the
+// environment uses, plus the two bits the environment cannot carry — the
+// noexport mark and the null/empty-string distinction.
+
+// VarRecord describes one variable slot for snapshotting.  Value is the
+// environment encoding of the slot (EncodeValue), except when Phantom or
+// Empty is set.
+type VarRecord struct {
+	Name     string
+	Value    string
+	NoExport bool // excluded from ExportEnv
+	Phantom  bool // a sticky noexport mark on a name that has no value
+	Empty    bool // defined but null: the empty list, not the empty string
+}
+
+// SnapshotVars captures every variable slot, sorted by name so snapshots
+// are deterministic.  Slots still lazy from an environment import are
+// captured as their undecoded raw string — no decode work happens, and
+// the encoding is the same either way.
+func (i *Interp) SnapshotVars() []VarRecord {
+	out := make([]VarRecord, 0, len(i.vars))
+	for name, slot := range i.vars {
+		rec := VarRecord{Name: name, NoExport: slot.noexport}
+		switch {
+		case slot.phantom():
+			rec.Phantom = true
+		case slot.lazy:
+			rec.Value = slot.raw
+		case len(slot.value) == 0:
+			rec.Empty = true
+		default:
+			rec.Value = EncodeValue(slot.value)
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// RestoreVars replaces the entire variable table with the captured
+// records.  Values are installed lazily, exactly like an environment
+// import — decoding every function definition up front would defeat the
+// fast startup the lazy path buys — but unlike an import the noexport
+// marks, phantom marks, and null values are restored exactly.  Settors do
+// not run: a restore reinstates state, it does not re-assign it.
+func (i *Interp) RestoreVars(recs []VarRecord) {
+	i.vars = make(map[string]*varSlot, len(recs))
+	for _, r := range recs {
+		switch {
+		case r.Phantom:
+			i.vars[r.Name] = &varSlot{noexport: r.NoExport}
+		case r.Empty:
+			i.vars[r.Name] = &varSlot{value: List{}, noexport: r.NoExport}
+		default:
+			i.vars[r.Name] = &varSlot{raw: r.Value, lazy: true, noexport: r.NoExport}
+		}
+	}
+	// $path may have changed wholesale; cached lookups are for the old one.
+	i.pathCache.Flush()
+}

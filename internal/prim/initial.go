@@ -65,6 +65,15 @@ fn-version = $&version
 fn-primitives = $&primitives
 fn-noexport = $&noexport
 
+# Session images: snapshot writes the definable state (variables, marks,
+# functions, spoofed hooks, settors) to a single checksummed file;
+# restore replaces this session's state with a saved image.  %snapshot
+# and %restore are spoofable hooks over the unspoofable services.
+fn-%snapshot = $&snapshot
+fn-%restore = $&restore
+fn-snapshot = @ file {%snapshot $file}
+fn-restore = @ file {%restore $file}
+
 # Native cache controls: recache drops the interpreter's dispatch caches
 # (a spoofed cache like lib/pathcache.es redefines fn-recache for itself),
 # cachestats returns the hit/miss/invalidation counters.

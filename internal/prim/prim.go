@@ -18,6 +18,7 @@ func Register(i *core.Interp) {
 	registerPlumbing(i)
 	registerWords(i)
 	registerServices(i)
+	registerSnapshot(i)
 }
 
 // RunInitial evaluates the embedded initial.es script, establishing the

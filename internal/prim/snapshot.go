@@ -1,0 +1,47 @@
+package prim
+
+import (
+	"es/internal/core"
+	"es/internal/image"
+)
+
+func init() {
+	// Stamp images written by a shell with the full primitive set.
+	image.EsVersion = Version
+}
+
+func registerSnapshot(i *core.Interp) {
+	i.RegisterPrim("snapshot", primSnapshot)
+	i.RegisterPrim("restore", primRestore)
+}
+
+// primSnapshot writes a session image of the calling interpreter's
+// definable state to a file: $&snapshot file.  Like every $& service it
+// has a spoofable hook, %snapshot, so session policy (say, stripping
+// secrets before the write) can wrap it.
+func primSnapshot(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) != 1 {
+		return nil, core.ErrorExc("usage: $&snapshot file")
+	}
+	path := args[0].String()
+	if err := image.WriteFile(path, image.Capture(i, nil)); err != nil {
+		return nil, core.ErrorExc("snapshot " + path + ": " + err.Error())
+	}
+	return core.StrList(path), nil
+}
+
+// primRestore replaces the calling interpreter's definable state with
+// the image in a file: $&restore file.  Jobs, descriptors, and $pid do
+// not travel; restore re-stamps $pid with this process.
+func primRestore(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) != 1 {
+		return nil, core.ErrorExc("usage: $&restore file")
+	}
+	path := args[0].String()
+	img, err := image.ReadFile(path)
+	if err != nil {
+		return nil, core.ErrorExc("restore " + path + ": " + err.Error())
+	}
+	img.Restore(i)
+	return core.StrList(path), nil
+}

@@ -28,6 +28,9 @@ type Metrics struct {
 	Errors         atomic.Int64 // evals that raised an uncaught exception
 	Timeouts       atomic.Int64 // the subset of Errors that were `signal deadline`
 	InFlight       atomic.Int64 // evals currently holding the semaphore
+	Snapshots      atomic.Int64 // snap frames served
+	Restores       atomic.Int64 // restore frames applied
+	Migrations     atomic.Int64 // sessions handed to another daemon
 	BytesIn        atomic.Int64
 	BytesOut       atomic.Int64
 
@@ -114,6 +117,9 @@ func (m *Metrics) Words() []string {
 		fmt.Sprintf("errors:%d", m.Errors.Load()),
 		fmt.Sprintf("timeouts:%d", m.Timeouts.Load()),
 		fmt.Sprintf("inflight:%d", m.InFlight.Load()),
+		fmt.Sprintf("snapshots:%d", m.Snapshots.Load()),
+		fmt.Sprintf("restores:%d", m.Restores.Load()),
+		fmt.Sprintf("migrations:%d", m.Migrations.Load()),
 		fmt.Sprintf("bytes_in:%d", m.BytesIn.Load()),
 		fmt.Sprintf("bytes_out:%d", m.BytesOut.Load()),
 		fmt.Sprintf("p50_us:%d", m.Quantile(0.50).Microseconds()),

@@ -30,12 +30,20 @@ import (
 // Frame is one protocol message.  Type selects which fields are
 // meaningful:
 //
-//	eval   (client) — Src, optional ID and DeadlineMS
-//	result (server) — ID, Value, True, Stdout, Stderr, MS
-//	error  (server) — ID, Exception (the uncaught es exception, one word
-//	                  per list term), Stdout, Stderr, MS
-//	stats  (client) — ID; (server) — ID, Stats
-//	bye    (either) — Reason on the server side ("bye", "drain")
+//	eval    (client) — Src, optional ID and DeadlineMS
+//	result  (server) — ID, Value, True, Stdout, Stderr, MS
+//	error   (server) — ID, Exception (the uncaught es exception, one word
+//	                   per list term), Stdout, Stderr, MS
+//	stats   (client) — ID; (server) — ID, Stats
+//	snap    (client) — ID; (server) — ID, Image (the session's state as a
+//	                   base64 session image, internal/image format)
+//	restore (client) — ID, Image; (server) — ID, True (state replaced)
+//	migrate (client) — ID, Socket (another esd's socket path); (server) —
+//	                   ID, Socket, True once the session's state lives on
+//	                   the target and this daemon has become a transparent
+//	                   relay: subsequent frames on the same connection are
+//	                   answered by the target
+//	bye     (either) — Reason on the server side ("bye", "drain")
 type Frame struct {
 	Type       string   `json:"type"`
 	ID         int64    `json:"id,omitempty"`
@@ -49,6 +57,8 @@ type Frame struct {
 	MS         float64  `json:"ms,omitempty"`
 	Stats      []string `json:"stats,omitempty"`
 	Reason     string   `json:"reason,omitempty"`
+	Image      string   `json:"image,omitempty"`  // base64 session image
+	Socket     string   `json:"socket,omitempty"` // migrate target
 }
 
 // maxFrameBytes bounds one frame line; a client shipping a larger script

@@ -136,6 +136,14 @@ func (s *session) dispatch(f *Frame) bool {
 		words := append(s.srv.metrics.Words(), s.sm.words(s.id)...)
 		s.fw.Write(&Frame{Type: "stats", ID: f.ID, Stats: words})
 		return false
+	case "snap":
+		s.snap(f)
+		return false
+	case "restore":
+		s.restore(f)
+		return false
+	case "migrate":
+		return s.migrate(f)
 	case "bye":
 		s.fw.Write(&Frame{Type: "bye", Reason: "bye"})
 		return true

@@ -1,0 +1,157 @@
+package server
+
+// Session checkpointing and live migration.  A session's definable state
+// serializes to an internal/image session image, which makes three
+// daemon-level capabilities nearly free:
+//
+//   - snap/restore frames: a client checkpoints its session, the daemon
+//     restarts, and the client restores into a fresh session — restart
+//     without session loss.
+//
+//   - migrate frames: the origin daemon captures the session, replays it
+//     into a new session on the target daemon, then degrades itself to a
+//     transparent frame relay.  The client keeps its one connection; its
+//     evals now run on the target.  Stateless load-balancing for a
+//     connection-oriented protocol.
+//
+//   - pre-baked pools: a Config.NewSession built by NewSessionFromImage
+//     restores an image once onto a template and stamps sessions out of
+//     it with Spawn, so per-session cost stays one deep copy no matter
+//     how much state the image carries.
+
+import (
+	"encoding/base64"
+	"io"
+	"net"
+
+	"es/internal/core"
+	"es/internal/image"
+)
+
+// NewSessionFromImage returns a Config.NewSession that spawns sessions
+// pre-baked from a session image.  The image is restored once, onto a
+// private template spawned from base (which supplies the primitives and
+// builtins — images carry state, not code); each session is then a cheap
+// Spawn of the template.
+func NewSessionFromImage(base *core.Interp, img *image.Image) func() (*core.Interp, error) {
+	template := base.Spawn()
+	img.Restore(template)
+	return func() (*core.Interp, error) {
+		return template.Spawn(), nil
+	}
+}
+
+// snap answers with the session's state as a base64 session image.  It
+// runs on the session goroutine, so the interpreter is quiescent; no
+// meta is stamped, keeping snap → restore → snap byte-identical.
+func (s *session) snap(f *Frame) {
+	img := image.Capture(s.interp, nil)
+	s.srv.metrics.Snapshots.Add(1)
+	s.fw.Write(&Frame{Type: "snap", ID: f.ID,
+		Image: base64.StdEncoding.EncodeToString(img.Encode())})
+}
+
+// restore replaces the session's definable state with the frame's image.
+func (s *session) restore(f *Frame) {
+	img, err := decodeImageFrame(f)
+	if err != nil {
+		s.fw.Write(&Frame{Type: "error", ID: f.ID,
+			Exception: []string{"error", "esd", err.Error()}})
+		return
+	}
+	img.Restore(s.interp)
+	s.srv.metrics.Restores.Add(1)
+	s.fw.Write(&Frame{Type: "restore", ID: f.ID, True: true})
+}
+
+func decodeImageFrame(f *Frame) (*image.Image, error) {
+	data, err := base64.StdEncoding.DecodeString(f.Image)
+	if err != nil {
+		return nil, err
+	}
+	return image.Decode(data)
+}
+
+// migrate moves the session to the daemon at f.Socket and turns this
+// session into a relay.  The returned bool is dispatch's "close the
+// session" flag: true once the relay ends.  A failed migration replies
+// with an error frame and leaves the session here, untouched.
+func (s *session) migrate(f *Frame) bool {
+	fail := func(msg string) bool {
+		s.fw.Write(&Frame{Type: "error", ID: f.ID,
+			Exception: []string{"error", "esd", "migrate: " + msg}})
+		return false
+	}
+	if f.Socket == "" {
+		return fail("no target socket")
+	}
+	if f.Socket == s.srv.cfg.Socket {
+		return fail("target is this daemon")
+	}
+	tconn, err := net.Dial("unix", f.Socket)
+	if err != nil {
+		return fail(err.Error())
+	}
+	tfr, tfw := NewClientConn(tconn)
+	img := image.Capture(s.interp, nil)
+	if err := tfw.Write(&Frame{Type: "restore", ID: f.ID,
+		Image: base64.StdEncoding.EncodeToString(img.Encode())}); err != nil {
+		tconn.Close()
+		return fail(err.Error())
+	}
+	ack, err := tfr.Read()
+	if err != nil {
+		tconn.Close()
+		return fail(err.Error())
+	}
+	if ack.Type != "restore" || !ack.True {
+		tconn.Close()
+		msg := "target refused the session"
+		if len(ack.Exception) > 0 {
+			msg = ack.Exception[len(ack.Exception)-1]
+		}
+		return fail(msg)
+	}
+	s.srv.metrics.Migrations.Add(1)
+	s.srv.cfg.Logf("esd: session %d migrated to %s", s.id, f.Socket)
+	s.fw.Write(&Frame{Type: "migrate", ID: f.ID, Socket: f.Socket, True: true})
+	s.relay(tconn, tfw)
+	return true
+}
+
+// relay forwards the rest of the session through the target connection:
+// client frames out of the mailbox are re-framed to the target, target
+// bytes are copied back verbatim (the session goroutine stopped writing
+// frames of its own, so raw copy cannot tear a line).  The relay ends
+// when either side hangs up or this daemon drains — a drain closes the
+// target connection, and the client sees EOF exactly as if its daemon
+// had restarted, which is what the snap/restore path is for.
+func (s *session) relay(tconn net.Conn, tfw *FrameWriter) {
+	defer tconn.Close()
+	copied := make(chan struct{})
+	go func() {
+		defer close(copied)
+		n, _ := io.Copy(s.conn, tconn)
+		s.srv.metrics.BytesOut.Add(n)
+	}()
+	for {
+		select {
+		case f, ok := <-s.mail:
+			if !ok {
+				tconn.Close()
+				<-copied
+				return
+			}
+			if err := tfw.Write(f); err != nil {
+				<-copied
+				return
+			}
+		case <-s.srv.drainCh:
+			tconn.Close()
+			<-copied
+			return
+		case <-copied:
+			return
+		}
+	}
+}

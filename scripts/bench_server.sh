@@ -1,7 +1,8 @@
 #!/bin/sh
 # bench_server.sh - the serving-layer performance baseline
-# (BenchmarkServerEval sequential/parallel and the session-spawn cost
-# behind the warm pool).
+# (BenchmarkServerEval sequential/parallel, the session-spawn cost behind
+# the warm pool, and the pre-baked-from-image spawn path next to the
+# restore-per-session cost it avoids).
 #
 # Usage: scripts/bench_server.sh [benchtime]          regenerate BENCH_server.json
 #        scripts/bench_server.sh -check [benchtime]   compare against BENCH_server.json,
@@ -16,7 +17,7 @@ if [ "${1:-}" = "-check" ]; then
 fi
 benchtime="${1:-300ms}"
 
-out=$(go test -run=NONE -bench='ServerEval|ServerSessionSpawn' \
+out=$(go test -run=NONE -bench='ServerEval|ServerSession' \
 	-benchtime="$benchtime" -count=1 .)
 echo "$out"
 

@@ -25,7 +25,7 @@ if [ "${1:-}" = "-race" ]; then
 	echo "== go test -race ./..."
 	go test -race ./...
 	echo "== tree-walker engine suite (ES_NOCOMPILE=1)"
-	ES_NOCOMPILE=1 go test . ./internal/core
+	ES_NOCOMPILE=1 go test . ./internal/core ./internal/image
 	echo "== server bench gate (scripts/bench_server.sh -check)"
 	sh scripts/bench_server.sh -check
 	echo "== server soak (esd -race + concurrent esc, SIGTERM drain)"

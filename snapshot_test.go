@@ -1,0 +1,73 @@
+package es
+
+// Shell-level tests for the session-image primitives: snapshot writes
+// the definable state to a single file, restore replaces this session's
+// state with it.  Spoofed hooks, noexport marks, and function captures
+// all travel; $pid does not.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRestorePrimitives(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sess.esimg")
+
+	a, aout, _ := newTestShell(t)
+	runOut(t, a, aout, "greeting = hello world")
+	runOut(t, a, aout, "secret = hunter2; noexport secret")
+	runOut(t, a, aout, "fn counter n {result <>{%count 1 2 3} $n}")
+	runOut(t, a, aout, "let (salt = xyz) fn seasoned {echo $salt $greeting}")
+	runOut(t, a, aout, "fn %pathsearch name {result /spoofed/$name}")
+	runOut(t, a, aout, "snapshot "+path)
+
+	b, bout, _ := newTestShell(t)
+	if got := runOut(t, b, bout, "restore "+path+"; echo $greeting"); got != "hello world\n" {
+		t.Errorf("greeting after restore = %q", got)
+	}
+	if got := runOut(t, b, bout, "seasoned"); got != "xyz hello world\n" {
+		t.Errorf("captured binding after restore = %q", got)
+	}
+	if got := runOut(t, b, bout, "counter two"); got != "" {
+		t.Errorf("counter wrote output: %q", got)
+	}
+	if got := runOut(t, b, bout, "whatis %pathsearch"); got != "@ name {result /spoofed/$name}\n" {
+		t.Errorf("spoofed hook after restore = %q", got)
+	}
+	// The spoof actually governs command dispatch in the restored shell.
+	if got := runOut(t, b, bout, "echo <>{%pathsearch vi}"); got != "/spoofed/vi\n" {
+		t.Errorf("spoofed pathsearch result = %q", got)
+	}
+	// The noexport mark survived: secret is visible but not exported.
+	if got := runOut(t, b, bout, "echo $secret"); got != "hunter2\n" {
+		t.Errorf("secret after restore = %q", got)
+	}
+	env := strings.Join(b.Interp().ExportEnv(), "\n")
+	if strings.Contains(env, "secret") {
+		t.Errorf("secret leaked into environment after restore")
+	}
+	// $pid was re-stamped, not copied: both shells are this process.
+	apid := runOut(t, a, aout, "echo $pid")
+	if got := runOut(t, b, bout, "echo $pid"); got != apid {
+		t.Errorf("pid after restore = %q, want %q", got, apid)
+	}
+
+	// The hooks are spoofable: a %snapshot wrapper sees the write.
+	runOut(t, b, bout, `let (snap = $fn-%snapshot) fn %snapshot file {echo saving $file; $snap $file}`)
+	if got := runOut(t, b, bout, "snapshot "+path+"2"); !strings.HasPrefix(got, "saving ") {
+		t.Errorf("spoofed %%snapshot not consulted: %q", got)
+	}
+}
+
+func TestRestoreRejectsBadImage(t *testing.T) {
+	sh, _, _ := newTestShell(t)
+	path := filepath.Join(t.TempDir(), "bad.esimg")
+	if _, err := sh.Run("echo junk > " + path + "; restore " + path); err == nil ||
+		!strings.Contains(err.Error(), "restore") {
+		t.Errorf("restore of junk accepted (err = %v)", err)
+	}
+	if _, err := sh.Run("restore " + path + ".missing"); err == nil {
+		t.Errorf("restore of missing file accepted")
+	}
+}
