@@ -26,6 +26,7 @@ import (
 	"testing"
 	"time"
 
+	"es/internal/analysis"
 	"es/internal/core"
 	"es/internal/gc"
 	"es/internal/image"
@@ -653,6 +654,40 @@ func BenchmarkServerSessionRestore(b *testing.B) {
 	for n := 0; n < b.N; n++ {
 		s := i.Spawn()
 		img.Restore(s)
+	}
+}
+
+// ---- static analysis: the escheck pass ----
+
+// BenchmarkAnalyze measures one full analysis pass — parse, reference
+// and hook resolution, structure lint, effect summary — over a
+// representative script, with the registry environment prebuilt the way
+// every production surface (escheck, esd -vet, $&analyze) holds it.
+func BenchmarkAnalyze(b *testing.B) {
+	sh := benchShell(b)
+	env := analysis.EnvFromInterp(sh.Interp())
+	src := `
+fn count-matches pat files {
+	let (n = 0) {
+		for (f = $files) {
+			if {~ $f $pat} {n = <>{%count $n $n}}
+		}
+		result $n
+	}
+}
+fn %pathsearch name {
+	if {~ $name benchtool} {result /opt/bin/benchtool} {$&pathsearch $name}
+}
+files = a.c b.c c.h d.go
+matches = <>{count-matches *.[ch] $files}
+echo found $matches | wc
+`
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		res := analysis.Analyze(src, analysis.Options{Env: env})
+		if res.Errors() != 0 {
+			b.Fatalf("unexpected errors: %+v", res.Diags)
+		}
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"es"
+	"es/internal/analysis"
 	"es/internal/core"
 )
 
@@ -39,6 +40,7 @@ func run() int {
 		noTCO      = flag.Bool("no-tco", false, "disable tail-call elimination")
 		noCompile  = flag.Bool("nocompile", false, "evaluate with the tree walker instead of the bytecode engine")
 		parseOnly  = flag.Bool("n", false, "parse input but do not execute it")
+		checkOnly  = flag.Bool("check", false, "statically analyze input but do not execute it")
 		protected  = flag.Bool("p", false, "protected: do not import function definitions from the environment")
 		cacheStats = flag.Bool("cachestats", false, "report native cache hit/miss counters on exit")
 	)
@@ -46,6 +48,9 @@ func run() int {
 
 	if *parseOnly {
 		return checkSyntax(*command, flag.Args())
+	}
+	if *checkOnly {
+		return checkStatic(*command, flag.Args())
 	}
 
 	environ := os.Environ()
@@ -142,6 +147,54 @@ func checkSyntax(command string, files []string) int {
 	check := func(label, src string) int {
 		if _, err := core.ParseCommand(src); err != nil {
 			fmt.Fprintf(os.Stderr, "es: %s: %v\n", label, err)
+			return 1
+		}
+		return 0
+	}
+	switch {
+	case command != "":
+		return check("-c", command)
+	case len(files) > 0:
+		status := 0
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "es:", err)
+				status = 1
+				continue
+			}
+			if check(f, string(src)) != 0 {
+				status = 1
+			}
+		}
+		return status
+	default:
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "es:", err)
+			return 1
+		}
+		return check("stdin", string(src))
+	}
+}
+
+// checkStatic implements -check: run the static analyzer (escheck's
+// engine) over the command, files, or stdin, resolving hooks, primitives
+// and variables against a freshly initialized shell, and report
+// diagnostics without executing anything.
+func checkStatic(command string, files []string) int {
+	sh, err := es.New(es.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "es: startup:", err)
+		return 1
+	}
+	env := analysis.EnvFromInterp(sh.Interp())
+	check := func(label, src string) int {
+		res := analysis.Analyze(src, analysis.Options{File: label, Env: env})
+		for _, d := range res.Diags {
+			fmt.Fprintln(os.Stderr, d.String())
+		}
+		if res.Errors() > 0 {
 			return 1
 		}
 		return 0

@@ -5,6 +5,7 @@
 //
 //	esc [-socket path] [-deadline ms] 'command ...'
 //	esc -stats
+//	esc -check 'command ...'
 //	esc [-restore file] [-migrate socket] [-snap file] ['command ...']
 //
 // The command's captured stdout and stderr are replayed to esc's own
@@ -22,6 +23,11 @@
 // 'setup'` runs setup and then saves the result, and `esc -restore
 // s.esimg -migrate /run/esd2.sock -snap s.esimg 'work'` does all three
 // across two daemons.
+//
+// With -check the command is statically analyzed by the daemon (against
+// the session's own hook and primitive registries) instead of being run:
+// diagnostics print one per line, the effect categories follow, and the
+// exit status is 1 if the script carries static errors.
 package main
 
 import (
@@ -55,6 +61,7 @@ func run() int {
 		socket      = flag.String("socket", defaultSocket(), "esd unix socket `path` (or $ESD_SOCKET)")
 		deadlineMS  = flag.Int64("deadline", 0, "per-request deadline in `ms` (0 = server default)")
 		stats       = flag.Bool("stats", false, "print server statistics and exit")
+		checkOnly   = flag.Bool("check", false, "statically analyze the command on the daemon instead of running it")
 		snapFile    = flag.String("snap", "", "checkpoint the session image to `file` after the command")
 		restoreFile = flag.String("restore", "", "load the session image from `file` before the command")
 		migrateSock = flag.String("migrate", "", "move the session to the daemon at `socket` before the command")
@@ -128,6 +135,28 @@ func run() int {
 		}
 	}
 	status := 0
+	if *checkOnly {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "esc: -check needs a command")
+			return 2
+		}
+		f, err := roundTrip(&server.Frame{Type: "check",
+			Src: strings.Join(flag.Args(), " ")})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esc:", err)
+			return 1
+		}
+		for _, d := range f.Diags {
+			fmt.Println(d)
+		}
+		if len(f.Effects) > 0 {
+			fmt.Println("effects:", strings.Join(f.Effects, " "))
+		}
+		if !f.True {
+			return 1
+		}
+		return 0
+	}
 	if flag.NArg() > 0 {
 		f, err := roundTrip(&server.Frame{Type: "eval",
 			Src: strings.Join(flag.Args(), " "), DeadlineMS: *deadlineMS})

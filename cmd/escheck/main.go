@@ -1,0 +1,108 @@
+// escheck statically analyzes es scripts without running them: undefined
+// variable references, unresolved %hook / $&primitive references, dead
+// code, structural lint, and a per-script effect summary.
+//
+//	escheck [-json] [-sev error|warning|info] [-effects] [-prelude] [file ...]
+//
+// With no files, escheck reads a script from standard input.  Exit status
+// is 1 when any error-severity diagnostic is reported, 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	es "es"
+	"es/internal/analysis"
+	"es/internal/prim"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics and effects as JSON")
+	sevFlag := flag.String("sev", "info", "minimum severity to print: info, warning, or error")
+	effects := flag.Bool("effects", false, "print the effect summary after diagnostics")
+	prelude := flag.Bool("prelude", false, "also analyze the embedded start-up prelude")
+	flag.Parse()
+
+	minSev, ok := parseSev(*sevFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "escheck: bad -sev %q (want info, warning, or error)\n", *sevFlag)
+		os.Exit(2)
+	}
+
+	// A throwaway shell supplies the registry snapshot: primitives,
+	// builtins, and every prelude-defined variable and %hook binding.
+	sh, err := es.New(es.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "escheck: %v\n", err)
+		os.Exit(2)
+	}
+	env := analysis.EnvFromInterp(sh.Interp())
+
+	type target struct {
+		name string
+		src  string
+	}
+	var targets []target
+	if *prelude {
+		targets = append(targets, target{"<prelude>", prim.InitialES()})
+	}
+	if flag.NArg() == 0 && !*prelude {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "escheck: %v\n", err)
+			os.Exit(2)
+		}
+		targets = append(targets, target{"<stdin>", string(src)})
+	}
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "escheck: %v\n", err)
+			os.Exit(2)
+		}
+		targets = append(targets, target{path, string(src)})
+	}
+
+	exit := 0
+	for _, t := range targets {
+		res := analysis.Analyze(t.src, analysis.Options{File: t.name, Env: env})
+		if res.Errors() > 0 {
+			exit = 1
+		}
+		if *jsonOut {
+			out := struct {
+				File string `json:"file"`
+				analysis.Result
+			}{t.name, res}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(out)
+			continue
+		}
+		for _, d := range res.Filter(minSev) {
+			fmt.Println(d.String())
+		}
+		if *effects && !res.Effects.Empty() {
+			fmt.Printf("%s: effects: categories=%v hooks=%v prims=%v external=%v\n",
+				t.name, res.Effects.Categories, res.Effects.Hooks,
+				res.Effects.Prims, res.Effects.External)
+		}
+	}
+	os.Exit(exit)
+}
+
+func parseSev(s string) (analysis.Severity, bool) {
+	switch s {
+	case "info", "i":
+		return analysis.SevInfo, true
+	case "warning", "warn", "w":
+		return analysis.SevWarning, true
+	case "error", "err", "e":
+		return analysis.SevError, true
+	}
+	return 0, false
+}

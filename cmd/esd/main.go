@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	esd [-socket path] [-template image] [-pool n] [-max n] [-deadline ms] [-drain-timeout s] [-quiet]
+//	esd [-socket path] [-template image] [-pool n] [-max n] [-deadline ms] [-vet] [-drain-timeout s] [-quiet]
 //
 // Each session owns one interpreter spawned from a warm template (shell
 // state, including function definitions, arrives through esd's own
@@ -13,9 +13,11 @@
 // esc snap frame): every session starts with that image's variables,
 // functions, and spoofed hooks already installed.  A per-request deadline —
 // the frame's deadline_ms, or -deadline as the default — surfaces inside
-// the script as the catchable exception `signal deadline`.  SIGTERM or
-// SIGINT triggers a graceful drain: stop accepting, answer every request
-// already accepted, say bye, exit 0.
+// the script as the catchable exception `signal deadline`.  With -vet,
+// every eval frame passes static analysis before admission: a script with
+// static errors is answered with an error frame and never evaluated.
+// SIGTERM or SIGINT triggers a graceful drain: stop accepting, answer
+// every request already accepted, say bye, exit 0.
 package main
 
 import (
@@ -55,6 +57,7 @@ func run() int {
 		poolSize     = flag.Int("pool", 4, "warm pre-spawned interpreters")
 		maxConc      = flag.Int("max", runtime.GOMAXPROCS(0), "max concurrent evaluations")
 		deadlineMS   = flag.Int("deadline", 0, "default per-request deadline in `ms` (0 = none)")
+		vet          = flag.Bool("vet", false, "statically analyze every eval and reject scripts with errors before running them")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful drain may take")
 		quiet        = flag.Bool("quiet", false, "suppress lifecycle logging")
 	)
@@ -95,6 +98,7 @@ func run() int {
 		PoolSize:        *poolSize,
 		MaxConcurrent:   *maxConc,
 		DefaultDeadline: time.Duration(*deadlineMS) * time.Millisecond,
+		Vet:             *vet,
 		NewSession:      newSession,
 		Logf:            logf,
 	})

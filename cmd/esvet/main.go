@@ -1,0 +1,41 @@
+// Command esvet lints the interpreter's own Go sources for primitive
+// hygiene: every $&primitive registered with RegisterPrim must have a
+// documented handler function and a binding in the embedded prelude
+// (initial.es), unless the registration carries an esvet:ok comment.
+// It is run by scripts/check.sh alongside go vet.
+//
+// Usage:
+//
+//	esvet [package-dir ...]
+//
+// With no arguments it checks ./internal/prim.  Exit status 1 if any
+// problem is found.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"es/internal/lint"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"./internal/prim"}
+	}
+	status := 0
+	for _, dir := range dirs {
+		probs, err := lint.CheckPrims(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esvet:", err)
+			status = 1
+			continue
+		}
+		for _, p := range probs {
+			fmt.Println(p)
+			status = 1
+		}
+	}
+	os.Exit(status)
+}

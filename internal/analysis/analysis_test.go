@@ -1,0 +1,139 @@
+package analysis_test
+
+// The golden-diagnostics battery: each testdata/escheck/*.es file carries
+// its expected diagnostics as trailing `# DIAG line:col CODE` annotations,
+// and the test holds the analyzer to exactly that set — no missing
+// findings, no extras, positions included.  The fuzz target holds the
+// other invariant: anything the parser accepts, the analyzer must survive.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"es"
+	"es/internal/analysis"
+)
+
+// testEnv resolves prims, builtins and globals against a real shell, the
+// same registry every production surface (escheck, es -check, esd, the
+// analyze primitive) uses.
+func testEnv(t testing.TB) *analysis.Env {
+	t.Helper()
+	sh, err := es.New(es.Options{})
+	if err != nil {
+		t.Fatalf("es.New: %v", err)
+	}
+	return analysis.EnvFromInterp(sh.Interp())
+}
+
+var diagRE = regexp.MustCompile(`(?m)^# DIAG (\d+:\d+) (\S+)$`)
+
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "escheck", "*.es"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden corpus: %v", err)
+	}
+	env := testEnv(t)
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []string
+			for _, m := range diagRE.FindAllStringSubmatch(string(src), -1) {
+				want = append(want, m[1]+" "+m[2])
+			}
+			res := analysis.Analyze(string(src), analysis.Options{File: file, Env: env})
+			var got []string
+			for _, d := range res.Diags {
+				got = append(got, fmt.Sprintf("%s %s", d.Pos, d.Code))
+			}
+			sort.Strings(want)
+			sort.Strings(got)
+			if strings.Join(want, "\n") != strings.Join(got, "\n") {
+				t.Errorf("diagnostics mismatch\nwant:\n  %s\ngot:\n  %s",
+					strings.Join(want, "\n  "), strings.Join(got, "\n  "))
+			}
+		})
+	}
+}
+
+func TestSeverityGate(t *testing.T) {
+	env := testEnv(t)
+	// Warnings alone must not count as errors: undefined variables are
+	// legal es (they evaluate to the empty list).
+	res := analysis.Analyze("echo $nope", analysis.Options{Env: env})
+	if res.Errors() != 0 {
+		t.Errorf("undefined var counted as error: %+v", res.Diags)
+	}
+	// An unregistered primitive is an error: $&names cannot be spoofed,
+	// so the reference can never succeed.
+	res = analysis.Analyze("echo <>{$&missingprim}", analysis.Options{Env: env})
+	if res.Errors() != 1 {
+		t.Errorf("unknown prim not an error: %+v", res.Diags)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	res := analysis.Analyze("echo $nope", analysis.Options{File: "x.es", Env: testEnv(t)})
+	if len(res.Diags) != 1 {
+		t.Fatalf("diags = %+v", res.Diags)
+	}
+	s := res.Diags[0].String()
+	if !strings.HasPrefix(s, "x.es:1:6: [W110] ") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestEffects(t *testing.T) {
+	env := testEnv(t)
+	res := analysis.Analyze("ls | /bin/true; eval $cmd", analysis.Options{Env: env})
+	cats := strings.Join(res.Effects.Categories, " ")
+	for _, want := range []string{"process", "dynamic-eval", "external-command"} {
+		if !strings.Contains(cats, want) {
+			t.Errorf("categories %v missing %q", res.Effects.Categories, want)
+		}
+	}
+	// A script that touches nothing effectful reports no categories.
+	res = analysis.Analyze("x = 1", analysis.Options{Env: env})
+	if len(res.Effects.Categories) != 0 {
+		t.Errorf("pure assignment has categories %v", res.Effects.Categories)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	env := testEnv(t)
+	res := analysis.Analyze("echo $nope; echo <>{$&missingprim}", analysis.Options{Env: env})
+	if n := len(res.Filter(analysis.SevError)); n != 1 {
+		t.Errorf("Filter(SevError) = %d diags, want 1", n)
+	}
+	if n := len(res.Filter(analysis.SevInfo)); n != len(res.Diags) {
+		t.Errorf("Filter(SevInfo) = %d diags, want all %d", n, len(res.Diags))
+	}
+}
+
+// FuzzAnalyze asserts the analyzer's robustness invariant: for any input
+// — parseable or not — Analyze returns without panicking or hanging.
+func FuzzAnalyze(f *testing.F) {
+	seeds, _ := filepath.Glob(filepath.Join("testdata", "escheck", "*.es"))
+	for _, file := range seeds {
+		src, err := os.ReadFile(file)
+		if err == nil {
+			f.Add(string(src))
+		}
+	}
+	f.Add("fn f x {echo $x}; f 1 | g; local (a = $b) {throw $a}")
+	f.Add("%pipe {echo} 1 0 {wc}")
+	f.Add("let (x = <>{$&split : $y}) {if {~ $x a} {x}}")
+	env := testEnv(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		analysis.Analyze(src, analysis.Options{Env: env})
+		analysis.Analyze(src, analysis.Options{}) // nil env must be safe too
+	})
+}

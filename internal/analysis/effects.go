@@ -1,0 +1,143 @@
+package analysis
+
+import "sort"
+
+// Effects summarizes what a script can reach: the hooks it calls, the
+// primitives it references, the external commands it may exec, and the
+// coarse capability categories those imply.  This is the input the
+// multi-tenant sandboxing roadmap item needs for pre-admission policy
+// ("does this script ever write files / spawn processes?").
+type Effects struct {
+	Hooks      []string `json:"hooks,omitempty"`
+	Prims      []string `json:"prims,omitempty"`
+	External   []string `json:"external,omitempty"`
+	Categories []string `json:"categories,omitempty"`
+}
+
+// Empty reports whether the script reaches nothing of note.
+func (e Effects) Empty() bool {
+	return len(e.Hooks) == 0 && len(e.Prims) == 0 && len(e.External) == 0
+}
+
+// effectSet accumulates effects during the walk.
+type effectSet struct {
+	hooks      map[string]bool
+	prims      map[string]bool
+	external   map[string]bool
+	categories map[string]bool
+}
+
+func newEffectSet() *effectSet {
+	return &effectSet{
+		hooks:      map[string]bool{},
+		prims:      map[string]bool{},
+		external:   map[string]bool{},
+		categories: map[string]bool{},
+	}
+}
+
+func (e *effectSet) addHook(name string) {
+	e.hooks[name] = true
+	if cat := serviceCategory[trimHook(name)]; cat != "" {
+		e.categories[cat] = true
+	}
+}
+
+func (e *effectSet) addPrim(name string) {
+	e.prims[name] = true
+	if cat := serviceCategory[name]; cat != "" {
+		e.categories[cat] = true
+	}
+}
+
+// addHead records a non-hook command head.  Known heads (builtins,
+// functions) contribute their category; unknown heads are external
+// commands, which imply process-spawning via %pathsearch + fork/exec.
+func (e *effectSet) addHead(name string, known bool) {
+	if known {
+		if cat := serviceCategory[name]; cat != "" {
+			e.categories[cat] = true
+		}
+		return
+	}
+	e.external[name] = true
+	e.categories["external-command"] = true
+	e.categories["process"] = true
+}
+
+func (e *effectSet) summary() Effects {
+	return Effects{
+		Hooks:      sortedKeys(e.hooks),
+		Prims:      sortedKeys(e.prims),
+		External:   sortedKeys(e.external),
+		Categories: sortedKeys(e.categories),
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func trimHook(name string) string {
+	if len(name) > 0 && name[0] == '%' {
+		return name[1:]
+	}
+	return name
+}
+
+// serviceCategory buckets primitive/hook/builtin names into the coarse
+// capabilities the sandboxing profiles care about.  Pure control and
+// word-manipulation services carry no category.
+var serviceCategory = map[string]string{
+	// process creation and management
+	"pipe": "process", "background": "process", "fork": "process",
+	"backquote": "process", "wait": "process", "apids": "process",
+	"exec": "process",
+	// file system, split by direction
+	"create": "file-write", "append": "file-write",
+	"open": "file-read", "here": "file-read", "read": "file-read",
+	// raw descriptor plumbing
+	"dup": "fd", "close": "fd",
+	// interpreter / process state
+	"cd": "state", "noexport": "state", "recache": "state",
+	// introspection
+	"vars": "introspect", "var": "introspect", "whatis": "introspect",
+	"primitives": "introspect", "cachestats": "introspect",
+	"serverstats": "introspect", "time": "introspect", "version": "introspect",
+	// dynamic evaluation defeats static vetting; flag it loudly
+	"eval": "dynamic-eval", "dot": "dynamic-eval", ".": "dynamic-eval",
+	"parse": "dynamic-eval",
+	// termination
+	"exit": "exit",
+	// path resolution (ambient fs access)
+	"pathsearch": "path-lookup",
+	// session images
+	"snapshot": "image", "restore": "image",
+}
+
+// rewriterHooks are the %-hook names the rewriter and evaluator dispatch
+// through implicitly (pipes become %pipe calls, redirections %create and
+// friends, path lookup %pathsearch, ...).  A fn-%name definition for one
+// of these is a legitimate spoof even when the ambient Env snapshot does
+// not list it.
+var rewriterHooks = map[string]bool{
+	"%and": true, "%or": true, "%background": true, "%pipe": true,
+	"%create": true, "%append": true, "%open": true, "%dup": true,
+	"%close": true, "%here": true, "%backquote": true, "%pathsearch": true,
+	"%whatis": true, "%parse": true, "%interactive-loop": true,
+	"%prompt": true, "%snapshot": true, "%restore": true,
+	"%count": true, "%flatten": true, "%fsplit": true, "%match": true,
+	"%not": true, "%split": true,
+}
+
+// knownHookName reports whether %name is one of the implicit dispatch
+// hooks (see rewriterHooks).
+func knownHookName(name string) bool { return rewriterHooks[name] }

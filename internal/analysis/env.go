@@ -1,0 +1,26 @@
+package analysis
+
+import "es/internal/core"
+
+// EnvFromInterp snapshots a live interpreter's registries — primitives,
+// builtins, and every defined variable including fn-… bindings — into the
+// form the analyzer resolves references against.  Take the snapshot after
+// the prelude (and any lib scripts the deployment loads) so their
+// definitions count as pre-defined.
+func EnvFromInterp(in *core.Interp) *Env {
+	env := &Env{
+		Prims:    map[string]bool{},
+		Builtins: map[string]bool{},
+		Vars:     map[string]bool{},
+	}
+	for _, n := range in.PrimNames() {
+		env.Prims[n] = true
+	}
+	for _, n := range in.BuiltinNames() {
+		env.Builtins[n] = true
+	}
+	for _, n := range in.VarNames() {
+		env.Vars[n] = true
+	}
+	return env
+}

@@ -1,0 +1,7 @@
+fn greet name {
+	echo hello $name
+}
+greet world
+let (x = 1 2 3) {
+	echo $x
+}

@@ -1,0 +1,13 @@
+fn die {
+	throw error die dead
+	echo never reached
+}
+fn maybe {
+	if {result 0}
+}
+while {} {
+	echo spinning
+}
+# DIAG 3:2 W120
+# DIAG 6:2 W122
+# DIAG 8:1 I125

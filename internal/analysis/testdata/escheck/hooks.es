@@ -1,0 +1,5 @@
+fn-%myjunkhook = {echo spoofed}
+%notahook argument
+fn-%pipe = {echo pipes are mine now}
+# DIAG 1:1 W103
+# DIAG 2:1 E102

@@ -1,0 +1,2 @@
+if (
+# DIAG 3:1 E100

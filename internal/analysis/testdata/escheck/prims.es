@@ -1,0 +1,3 @@
+echo <>{$&nosuchprim}
+result <>{$&flatten : a b}
+# DIAG 1:9 E101

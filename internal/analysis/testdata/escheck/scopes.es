@@ -1,0 +1,13 @@
+let (unused = 1) {
+	echo nothing here uses it
+}
+let (x = outer) {
+	let (x = inner) {
+		echo $x
+	}
+}
+for (i = a b c) {}
+# DIAG 1:6 W123
+# DIAG 4:6 W123
+# DIAG 5:7 W124
+# DIAG 9:1 W121

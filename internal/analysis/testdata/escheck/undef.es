@@ -1,0 +1,9 @@
+echo $never-set
+fn f {
+	local (tmpvar = 1) {
+		echo $tmpvar
+	}
+}
+echo $tmpvar
+# DIAG 1:6 W110
+# DIAG 7:6 W111

@@ -180,6 +180,10 @@ type StaticPiece struct {
 type Word struct {
 	Segs []Seg
 
+	// Pos is the source position of the word, carried for diagnostics
+	// (the evaluator anchors word-shape errors to it).
+	Pos syntax.Pos
+
 	// Static, when non-nil, holds the pieces the word always evaluates
 	// to; StaticSet distinguishes a static empty word from a dynamic one.
 	Static    []StaticPiece
@@ -200,6 +204,9 @@ type Word struct {
 // Seg is one word segment.
 type Seg struct {
 	Kind SegKind
+
+	// Pos anchors segment-level diagnostics (bad subscripts) to source.
+	Pos syntax.Pos
 
 	Pat glob.Pattern // SegLit
 
@@ -433,6 +440,7 @@ func (c *compiler) word(w *syntax.Word) *Word {
 		cw.StaticSet = true
 		return cw
 	}
+	cw.Pos = w.Pos
 	cw.Segs = make([]Seg, len(w.Parts))
 	for k, part := range w.Parts {
 		cw.Segs[k] = c.part(part)
@@ -548,7 +556,7 @@ func (c *compiler) part(part syntax.Part) Seg {
 		}
 		return Seg{Kind: SegLit, Pat: glob.New(part.Text)}
 	case *syntax.Var:
-		s := Seg{Kind: SegVar, Count: part.Count, Double: part.Double, Flat: part.Flat}
+		s := Seg{Kind: SegVar, Count: part.Count, Double: part.Double, Flat: part.Flat, Pos: part.Pos}
 		name := c.word(part.Name)
 		if name.LitNameSet {
 			s.NameLit = name.LitName

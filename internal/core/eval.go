@@ -490,6 +490,18 @@ func (i *Interp) evalMatchExtract(ctx *Ctx, m *syntax.MatchExtract, env *Binding
 
 // ---- word evaluation ----
 
+// errAt raises an error exception with the message anchored to a known
+// source position ("line:col: msg"); with an unknown position the message
+// is unchanged.  Both engines use it, with positions taken from the same
+// rewritten tree, so the walker and the bytecode engine stay
+// byte-identical on error shapes.
+func errAt(pos syntax.Pos, msg string) error {
+	if pos.Known() {
+		return ErrorExc(pos.String() + ": " + msg)
+	}
+	return ErrorExc(msg)
+}
+
 // piece is an intermediate word value: either a pattern (string with
 // literal mask, pre-glob) or a non-string term (closure or primitive).
 type piece struct {
@@ -561,7 +573,7 @@ func (i *Interp) evalWordString(ctx *Ctx, w *syntax.Word, env *Binding) (string,
 		return "", err
 	}
 	if len(pieces) != 1 || pieces[0].term != nil {
-		return "", ErrorExc("expected a single name")
+		return "", errAt(w.Pos, "expected a single name")
 	}
 	return pieces[0].pat.String(), nil
 }
@@ -580,7 +592,7 @@ func (i *Interp) evalWordPieces(ctx *Ctx, w *syntax.Word, env *Binding) ([]piece
 			acc = ps
 			continue
 		}
-		acc, err = concatPieces(acc, ps)
+		acc, err = concatPieces(w.Pos, acc, ps)
 		if err != nil {
 			return nil, err
 		}
@@ -589,14 +601,15 @@ func (i *Interp) evalWordPieces(ctx *Ctx, w *syntax.Word, env *Binding) ([]piece
 }
 
 // concatPieces implements list concatenation over pieces: pairwise for
-// equal lengths, distributing for singletons.
-func concatPieces(a, b []piece) ([]piece, error) {
+// equal lengths, distributing for singletons.  pos anchors the error to
+// the word being concatenated when the source position is known.
+func concatPieces(pos syntax.Pos, a, b []piece) ([]piece, error) {
 	join := func(x, y piece) piece {
 		return strPiece(glob.Concat(x.toPattern(), y.toPattern()))
 	}
 	switch {
 	case len(a) == 0 || len(b) == 0:
-		return nil, ErrorExc("bad concatenation")
+		return nil, errAt(pos, "bad concatenation")
 	case len(a) == 1:
 		out := make([]piece, len(b))
 		for i := range b {
@@ -616,7 +629,7 @@ func concatPieces(a, b []piece) ([]piece, error) {
 		}
 		return out, nil
 	default:
-		return nil, ErrorExc("bad concatenation")
+		return nil, errAt(pos, "bad concatenation")
 	}
 }
 
@@ -712,7 +725,7 @@ func (i *Interp) evalVarPart(ctx *Ctx, v *syntax.Var, env *Binding) ([]piece, er
 			for _, it := range idxs {
 				n, err := strconv.Atoi(it.String())
 				if err != nil {
-					return nil, ErrorExc("bad subscript: " + it.String())
+					return nil, errAt(v.Pos, "bad subscript: "+it.String())
 				}
 				if n >= 1 && n <= len(value) {
 					sel = append(sel, value[n-1])

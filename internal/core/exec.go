@@ -506,14 +506,14 @@ func (i *Interp) execWordString(ctx *Ctx, w *compile.Word, env *Binding) (string
 	}
 	if w.StaticSet {
 		// Static but not a single plain string: constant failure.
-		return "", ErrorExc("expected a single name")
+		return "", errAt(w.Pos, "expected a single name")
 	}
 	pieces, err := i.execWordPieces(ctx, w, env)
 	if err != nil {
 		return "", err
 	}
 	if len(pieces) != 1 || pieces[0].term != nil {
-		return "", ErrorExc("expected a single name")
+		return "", errAt(w.Pos, "expected a single name")
 	}
 	return pieces[0].pat.String(), nil
 }
@@ -541,7 +541,7 @@ func (i *Interp) execWordPieces(ctx *Ctx, w *compile.Word, env *Binding) ([]piec
 			acc = ps
 			continue
 		}
-		acc, err = concatPieces(acc, ps)
+		acc, err = concatPieces(w.Pos, acc, ps)
 		if err != nil {
 			return nil, err
 		}
@@ -627,7 +627,7 @@ func (i *Interp) execVarSeg(ctx *Ctx, s *compile.Seg, env *Binding) ([]piece, er
 			for _, it := range idxs {
 				n, err := strconv.Atoi(it.String())
 				if err != nil {
-					return nil, ErrorExc("bad subscript: " + it.String())
+					return nil, errAt(s.Pos, "bad subscript: "+it.String())
 				}
 				if n >= 1 && n <= len(value) {
 					sel = append(sel, value[n-1])

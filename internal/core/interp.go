@@ -217,6 +217,17 @@ func (i *Interp) PrimNames() []string {
 	return out
 }
 
+// BuiltinNames returns the registered builtin command names (unsorted),
+// completing the registry enumeration triple with PrimNames and VarNames
+// that static tooling (internal/analysis) resolves references against.
+func (i *Interp) BuiltinNames() []string {
+	out := make([]string, 0, len(i.builtins))
+	for n := range i.builtins {
+		out = append(out, n)
+	}
+	return out
+}
+
 // SetMaxDepth bounds closure-application nesting; the tail-call
 // trampoline keeps properly tail-recursive functions within one frame.
 func (i *Interp) SetMaxDepth(n int) { i.maxDepth = n }

@@ -1,0 +1,145 @@
+// Package lint is the Go-side counterpart of internal/analysis: a small
+// vet-style pass over the interpreter's own sources.  Where escheck keeps
+// es scripts honest against the primitive registry, this pass keeps the
+// registry itself honest: every $&primitive registered with RegisterPrim
+// must have a documented handler and a binding in the embedded prelude
+// (initial.es), so the registry, the docs, and the prelude cannot drift
+// apart silently.
+//
+// A registration that is intentionally unbound (for example the fallback
+// interactive loop, which is reached only when %interactive-loop is
+// undefined) opts out with a trailing comment on the RegisterPrim line:
+//
+//	i.RegisterPrim("interactive-loop", primFallbackLoop) // esvet:ok reason...
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Problem is one lint finding, formatted file:line: message.
+type Problem struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("%s:%d: %s", p.File, p.Line, p.Msg)
+}
+
+// CheckPrims lints one Go package directory for primitive-registration
+// hygiene.  It returns the problems found, sorted by file and line.
+func CheckPrims(dir string) ([]Problem, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	// One combined view of the package: function docs, string constants
+	// (the embedded prelude lives in one), and every RegisterPrim call.
+	funcDoc := map[string]bool{}
+	var constText strings.Builder
+	type reg struct {
+		name    string // the primitive name being registered
+		handler string // the handler identifier ("" for a func literal)
+		pos     token.Position
+		optOut  bool
+	}
+	var regs []reg
+
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			// Lines carrying an esvet:ok opt-out comment.
+			okLines := map[int]bool{}
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, "esvet:ok") {
+						okLines[fset.Position(c.Pos()).Line] = true
+					}
+				}
+			}
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					funcDoc[fd.Name.Name] = fd.Doc != nil && len(strings.TrimSpace(fd.Doc.Text())) > 0
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BasicLit:
+					if n.Kind == token.STRING {
+						if s, err := strconv.Unquote(n.Value); err == nil {
+							constText.WriteString(s)
+							constText.WriteString("\n")
+						}
+					}
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "RegisterPrim" || len(n.Args) != 2 {
+						return true
+					}
+					lit, ok := n.Args[0].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						return true
+					}
+					name, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						return true
+					}
+					handler := ""
+					if id, ok := n.Args[1].(*ast.Ident); ok {
+						handler = id.Name
+					}
+					pos := fset.Position(n.Pos())
+					regs = append(regs, reg{
+						name:    name,
+						handler: handler,
+						pos:     pos,
+						optOut:  okLines[pos.Line],
+					})
+				}
+				return true
+			})
+		}
+	}
+
+	prelude := constText.String()
+	var probs []Problem
+	add := func(pos token.Position, format string, args ...any) {
+		probs = append(probs, Problem{
+			File: filepath.ToSlash(pos.Filename),
+			Line: pos.Line,
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, r := range regs {
+		if r.handler == "" {
+			if !r.optOut {
+				add(r.pos, "primitive $&%s is registered with a function literal; use a named, documented handler (or mark the call esvet:ok)", r.name)
+			}
+		} else if hasDoc, known := funcDoc[r.handler]; known && !hasDoc {
+			add(r.pos, "primitive $&%s: handler %s has no doc comment", r.name, r.handler)
+		}
+		if !r.optOut && !strings.Contains(prelude, "$&"+r.name) {
+			add(r.pos, "primitive $&%s has no binding in the embedded prelude (initial.es); bind it or mark the call esvet:ok", r.name)
+		}
+	}
+	sort.Slice(probs, func(i, j int) bool {
+		if probs[i].File != probs[j].File {
+			return probs[i].File < probs[j].File
+		}
+		return probs[i].Line < probs[j].Line
+	})
+	return probs, nil
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write lays out a tiny package directory for CheckPrims to lint.
+func write(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestCheckPrimsFindings(t *testing.T) {
+	dir := write(t, map[string]string{
+		"p.go": `package p
+
+const prelude = "fn-%documented = $&documented\n"
+
+// primDocumented has a doc comment and a prelude binding: clean.
+func primDocumented() {}
+
+func primBare() {}
+
+func register(i reg) {
+	i.RegisterPrim("documented", primDocumented)
+	i.RegisterPrim("bare", primBare)
+	i.RegisterPrim("anon", func() {})
+	i.RegisterPrim("optout", primDocumented) // esvet:ok deliberately unbound
+}
+
+type reg interface{ RegisterPrim(string, any) }
+`,
+	})
+	probs, err := CheckPrims(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, p := range probs {
+		msgs = append(msgs, p.Msg)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		"handler primBare has no doc comment",
+		"$&bare has no binding in the embedded prelude",
+		"$&anon is registered with a function literal",
+		"$&anon has no binding in the embedded prelude",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing finding %q in:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "$&documented") || strings.Contains(joined, "$&optout") {
+		t.Errorf("false positive in:\n%s", joined)
+	}
+	if len(probs) != 4 {
+		t.Errorf("got %d problems, want 4:\n%s", len(probs), joined)
+	}
+}
+
+// TestRealRegistryClean is the live gate: the actual primitive registry
+// must stay lint-clean.
+func TestRealRegistryClean(t *testing.T) {
+	probs, err := CheckPrims("../prim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		t.Errorf("%s", p)
+	}
+}

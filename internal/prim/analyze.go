@@ -1,0 +1,43 @@
+package prim
+
+import (
+	"strings"
+
+	"es/internal/analysis"
+	"es/internal/core"
+)
+
+func registerAnalyze(i *core.Interp) {
+	i.RegisterPrim("analyze", primAnalyze)
+}
+
+// primAnalyze runs the static analyzer over a script given as a single
+// string argument, resolving hooks, primitives, and variables against the
+// calling interpreter's current registries.  It returns one word per
+// diagnostic ("line:col [CODE] severity: message") followed, after an
+// "effects" separator word, by the effect categories the script reaches.
+// The analyze hook is how scripts vet other scripts before eval'ing them.
+func primAnalyze(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
+	if len(args) == 0 {
+		return nil, core.ErrorExc("usage: $&analyze script")
+	}
+	var b strings.Builder
+	for n, a := range args {
+		if n > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(a.String())
+	}
+	res := analysis.Analyze(b.String(), analysis.Options{Env: analysis.EnvFromInterp(i)})
+	var out []string
+	for _, d := range res.Diags {
+		pos := "-"
+		if d.Pos.Known() {
+			pos = d.Pos.String()
+		}
+		out = append(out, pos+" ["+d.Code+"] "+d.Sev.String()+": "+d.Msg)
+	}
+	out = append(out, "effects")
+	out = append(out, res.Effects.Categories...)
+	return core.StrList(out...), nil
+}

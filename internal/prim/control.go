@@ -83,6 +83,8 @@ func primWhile(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error)
 	}
 }
 
+// primForever loops its thunks endlessly until a break exception
+// carries a value out.
 func primForever(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	nt := ctx.NonTail()
 	result := core.True()
@@ -133,6 +135,8 @@ func primAnd(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	return result, nil
 }
 
+// primOr short-circuits over thunks like primAnd, stopping at the first
+// true result; the last thunk runs in tail position.
 func primOr(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	result := core.False()
 	if len(args) == 0 {
@@ -155,6 +159,7 @@ func primOr(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	return result, nil
 }
 
+// primNot runs its command and inverts the truth of the result.
 func primNot(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	if len(args) == 0 {
 		return core.False(), nil
@@ -172,6 +177,8 @@ func primResult(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error
 	return args, nil
 }
 
+// primThrow raises its arguments as an exception; the first is the
+// exception name.
 func primThrow(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	if len(args) == 0 {
 		return nil, core.ErrorExc("throw: missing exception name")
@@ -208,10 +215,14 @@ func primCatch(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error)
 	}
 }
 
+// primBreak throws the break exception that the looping primitives
+// catch, carrying an optional result value.
 func primBreak(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	return nil, core.Throw(append(core.StrList("break"), args...))
 }
 
+// primReturn throws the return exception, unwound at the nearest
+// function-call boundary.
 func primReturn(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	return nil, core.Throw(append(core.StrList("return"), args...))
 }

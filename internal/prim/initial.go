@@ -85,6 +85,11 @@ fn-cachestats = $&cachestats
 # name:value words; elsewhere it throws error.
 fn-serverstats = $&serverstats
 
+# Static analysis: analyze runs escheck's checker over a script string and
+# returns its diagnostics as a list, so scripts can vet other scripts
+# before eval'ing them.
+fn-analyze = $&analyze
+
 # Default word splitting and prompts.  The default prompt "; " is a null
 # command followed by a command separator, so whole lines, including
 # prompts, can be cut and pasted back to the shell for re-execution.
@@ -142,6 +147,10 @@ if {!~ $#PATH 0} {
 }
 if {~ $#home 0 && !~ $#HOME 0} {home = $HOME}
 `
+
+// InitialES returns the embedded start-up prelude source, so tooling
+// (escheck -prelude, the check.sh gate) can analyze it like any script.
+func InitialES() string { return initialES }
 
 // RunSync evaluates the post-import synchronization script.
 func RunSync(i *core.Interp, ctx *core.Ctx) error {

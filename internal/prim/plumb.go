@@ -158,10 +158,14 @@ func primCreate(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error
 	return openRedir(i, ctx, args, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, "%create")
 }
 
+// primAppend implements `cmd >> file`: %append opens for appending,
+// creating the file if needed.
 func primAppend(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	return openRedir(i, ctx, args, os.O_WRONLY|os.O_CREATE|os.O_APPEND, "%append")
 }
 
+// primOpen implements `cmd < file`: %open opens the file read-only on
+// the requested descriptor.
 func primOpen(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	return openRedir(i, ctx, args, os.O_RDONLY, "%open")
 }
@@ -180,6 +184,7 @@ func primDup(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	return run(i, cctx, args[2], args[3:])
 }
 
+// primClose implements `cmd >[fd=]`: run cmd with fd closed.
 func primClose(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	if len(args) < 2 {
 		return nil, core.ErrorExc("%close: usage: %close fd cmd")
@@ -311,6 +316,8 @@ func primWait(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) 
 	return res, nil
 }
 
+// primApids lists the process ids of the outstanding background jobs,
+// the value of the $apids variable.
 func primApids(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	ids := i.JobIDs()
 	out := make([]string, len(ids))

@@ -19,6 +19,7 @@ func Register(i *core.Interp) {
 	registerWords(i)
 	registerServices(i)
 	registerSnapshot(i)
+	registerAnalyze(i)
 }
 
 // RunInitial evaluates the embedded initial.es script, establishing the

@@ -31,7 +31,7 @@ func registerServices(i *core.Interp) {
 	i.RegisterPrim("version", primVersion)
 	i.RegisterPrim("primitives", primPrimitives)
 	i.RegisterPrim("noexport", primNoexport)
-	i.RegisterPrim("interactive-loop", primFallbackLoop)
+	i.RegisterPrim("interactive-loop", primFallbackLoop) // esvet:ok fallback only; initial.es defines fn %interactive-loop itself
 }
 
 // primCd changes the interpreter's working directory.
@@ -272,16 +272,21 @@ func commandLabel(args core.List) string {
 	return strings.Join(parts, " ")
 }
 
+// primVersion reports the interpreter version string.
 func primVersion(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	return core.StrList(Version), nil
 }
 
+// primPrimitives lists the registered $&primitives, sorted, so scripts
+// can discover the shell services of the binary they run under.
 func primPrimitives(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	names := i.PrimNames()
 	sort.Strings(names)
 	return core.StrList(names...), nil
 }
 
+// primNoexport marks variables that must not be exported to the
+// environment of child processes.
 func primNoexport(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	for _, t := range args {
 		i.SetNoExport(t.String())

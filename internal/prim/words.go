@@ -63,6 +63,8 @@ func primSplit(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error)
 	return core.StrList(out...), nil
 }
 
+// primCount returns the number of terms in its argument list, the
+// value behind $#var.
 func primCount(i *core.Interp, ctx *core.Ctx, args core.List) (core.List, error) {
 	return core.StrList(strconv.Itoa(len(args))), nil
 }

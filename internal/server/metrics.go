@@ -28,6 +28,8 @@ type Metrics struct {
 	Errors         atomic.Int64 // evals that raised an uncaught exception
 	Timeouts       atomic.Int64 // the subset of Errors that were `signal deadline`
 	InFlight       atomic.Int64 // evals currently holding the semaphore
+	Checks         atomic.Int64 // scripts statically analyzed (check frames + -vet pre-checks)
+	CheckRejects   atomic.Int64 // the subset with static errors
 	Snapshots      atomic.Int64 // snap frames served
 	Restores       atomic.Int64 // restore frames applied
 	Migrations     atomic.Int64 // sessions handed to another daemon
@@ -117,6 +119,8 @@ func (m *Metrics) Words() []string {
 		fmt.Sprintf("errors:%d", m.Errors.Load()),
 		fmt.Sprintf("timeouts:%d", m.Timeouts.Load()),
 		fmt.Sprintf("inflight:%d", m.InFlight.Load()),
+		fmt.Sprintf("checks:%d", m.Checks.Load()),
+		fmt.Sprintf("check_rejects:%d", m.CheckRejects.Load()),
 		fmt.Sprintf("snapshots:%d", m.Snapshots.Load()),
 		fmt.Sprintf("restores:%d", m.Restores.Load()),
 		fmt.Sprintf("migrations:%d", m.Migrations.Load()),

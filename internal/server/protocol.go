@@ -43,6 +43,10 @@ import (
 //	                   the target and this daemon has become a transparent
 //	                   relay: subsequent frames on the same connection are
 //	                   answered by the target
+//	check   (client) — ID, Src; (server) — ID, Diags (one word per
+//	                   diagnostic), Effects (capability categories the
+//	                   script reaches), True when the script carries no
+//	                   static errors.  Nothing is evaluated.
 //	bye     (either) — Reason on the server side ("bye", "drain")
 type Frame struct {
 	Type       string   `json:"type"`
@@ -57,8 +61,10 @@ type Frame struct {
 	MS         float64  `json:"ms,omitempty"`
 	Stats      []string `json:"stats,omitempty"`
 	Reason     string   `json:"reason,omitempty"`
-	Image      string   `json:"image,omitempty"`  // base64 session image
-	Socket     string   `json:"socket,omitempty"` // migrate target
+	Image      string   `json:"image,omitempty"`   // base64 session image
+	Socket     string   `json:"socket,omitempty"`  // migrate target
+	Diags      []string `json:"diags,omitempty"`   // check: one word per diagnostic
+	Effects    []string `json:"effects,omitempty"` // check: capability categories
 }
 
 // maxFrameBytes bounds one frame line; a client shipping a larger script

@@ -32,6 +32,11 @@ type Config struct {
 	// deadline_ms; zero means no server-imposed deadline.
 	DefaultDeadline time.Duration
 
+	// Vet makes every eval frame pass static analysis before admission:
+	// a script with static errors (parse failure, unregistered $&primitive)
+	// is answered with an error frame and never evaluated.
+	Vet bool
+
 	// NewSession builds one detached session interpreter.  The usual
 	// implementation spawns from a warm template:
 	//

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"es/internal/analysis"
 	"es/internal/core"
 )
 
@@ -144,6 +145,9 @@ func (s *session) dispatch(f *Frame) bool {
 		return false
 	case "migrate":
 		return s.migrate(f)
+	case "check":
+		s.check(f)
+		return false
 	case "bye":
 		s.fw.Write(&Frame{Type: "bye", Reason: "bye"})
 		return true
@@ -152,6 +156,30 @@ func (s *session) dispatch(f *Frame) bool {
 			Exception: []string{"error", "esd", "unknown frame type: " + f.Type}})
 		return false
 	}
+}
+
+// analyze runs the static analyzer over one script, resolving hooks,
+// primitives and variables against this session's interpreter, so a
+// script that spoofed a hook earlier in the session checks against its
+// own definitions.
+func (s *session) analyze(src string) analysis.Result {
+	return analysis.Analyze(src, analysis.Options{Env: analysis.EnvFromInterp(s.interp)})
+}
+
+// check answers a check frame: static diagnostics and the effect summary
+// for the script, without evaluating any of it.
+func (s *session) check(f *Frame) {
+	s.srv.metrics.Checks.Add(1)
+	res := s.analyze(f.Src)
+	reply := &Frame{Type: "check", ID: f.ID, True: res.Errors() == 0,
+		Effects: res.Effects.Categories}
+	for _, d := range res.Diags {
+		reply.Diags = append(reply.Diags, d.String())
+	}
+	if res.Errors() > 0 {
+		s.srv.metrics.CheckRejects.Add(1)
+	}
+	s.fw.Write(reply)
 }
 
 // eval runs one request on the session's interpreter, under the server's
@@ -165,6 +193,22 @@ func (s *session) eval(f *Frame) {
 	defer m.InFlight.Add(-1)
 	m.Evals.Add(1)
 	s.sm.evals.Add(1)
+
+	// Pre-admission vetting: with -vet, a script with static errors (a
+	// parse failure or a reference to an unregistered $&primitive) is
+	// rejected here, before any of it runs.
+	if s.srv.cfg.Vet {
+		if res := s.analyze(f.Src); res.Errors() > 0 {
+			m.Checks.Add(1)
+			m.CheckRejects.Add(1)
+			exc := []string{"error", "esd", "vet: script rejected by static analysis"}
+			for _, d := range res.Filter(analysis.SevError) {
+				exc = append(exc, d.String())
+			}
+			s.fw.Write(&Frame{Type: "error", ID: f.ID, Exception: exc})
+			return
+		}
+	}
 
 	deadline := s.srv.cfg.DefaultDeadline
 	if f.DeadlineMS > 0 {

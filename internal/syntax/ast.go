@@ -8,8 +8,60 @@ package syntax
 // Let, Local, For, Match, Not, Lambda.
 // Surface-only nodes eliminated by Rewrite: Pipe, AndOr, Bg, RedirCmd, Fn.
 
+// Pos is a source position: 1-based line and column.  The zero Pos means
+// "unknown" — synthesized nodes the rewriter cannot anchor to any source
+// token.  Positions ride along for diagnostics (the static analyzer and
+// evaluator error messages); they never affect evaluation.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// Known reports whether the position refers to real source text.
+func (p Pos) Known() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	return itoa(p.Line) + ":" + itoa(p.Col)
+}
+
 // Cmd is any command node.
 type Cmd interface{ cmd() }
+
+// CmdPos returns the source position of a command node (the zero Pos
+// when unknown).
+func CmdPos(c Cmd) Pos {
+	switch c := c.(type) {
+	case *Block:
+		return c.Pos
+	case *Simple:
+		return c.Pos
+	case *Assign:
+		return c.Pos
+	case *Let:
+		return c.Pos
+	case *Local:
+		return c.Pos
+	case *For:
+		return c.Pos
+	case *Match:
+		return c.Pos
+	case *MatchExtract:
+		return c.Pos
+	case *Not:
+		return c.Pos
+	case *Pipe:
+		return c.Pos
+	case *AndOr:
+		return c.Pos
+	case *Bg:
+		return c.Pos
+	case *RedirCmd:
+		return c.Pos
+	case *Fn:
+		return c.Pos
+	}
+	return Pos{}
+}
 
 // Part is one component of a Word.
 type Part interface{ part() }
@@ -18,6 +70,7 @@ type Part interface{ part() }
 // intervening space, or parts joined by '^'.
 type Word struct {
 	Parts []Part
+	Pos   Pos
 }
 
 // Lit is literal text.  Quoted text is exempt from globbing.
@@ -35,22 +88,26 @@ type Var struct {
 	Double bool
 	Flat   bool // $^name: the value joined into one word
 	Index  []*Word
+	Pos    Pos
 }
 
 // Prim is a $&name primitive reference.
 type Prim struct {
 	Name string
+	Pos  Pos
 }
 
 // CmdSub is `{...}: run the block, capture its output, split on $ifs.
 type CmdSub struct {
 	Body *Block
+	Pos  Pos
 }
 
 // RetSub is <>{...} (also spelled <={...}): run the block and splice its
 // rich return value into the word list.
 type RetSub struct {
 	Body *Block
+	Pos  Pos
 }
 
 // LambdaPart is a lambda in word position: @ params {body} or a bare
@@ -71,11 +128,13 @@ type Lambda struct {
 	Params    []string
 	HasParams bool
 	Body      *Block
+	Pos       Pos
 }
 
 // Block is a brace-enclosed (or top-level) command sequence.
 type Block struct {
 	Cmds []Cmd
+	Pos  Pos
 }
 
 // Simple is a command invocation: evaluate the words, apply the first
@@ -84,6 +143,7 @@ type Block struct {
 type Simple struct {
 	Words  []*Word
 	Redirs []*Redir
+	Pos    Pos
 }
 
 // Redir is one surface redirection.
@@ -92,6 +152,7 @@ type Redir struct {
 	Fd     int
 	Fd2    int // for RedirDup
 	Target *Word
+	Pos    Pos
 }
 
 // Assign is name = values.  Name is a Word (computed targets such as
@@ -99,6 +160,7 @@ type Redir struct {
 type Assign struct {
 	Name   *Word
 	Values []*Word
+	Pos    Pos
 }
 
 // Binding is one name = values pair in let/local/for headers.
@@ -111,24 +173,28 @@ type Binding struct {
 type Let struct {
 	Bindings []Binding
 	Body     Cmd
+	Pos      Pos
 }
 
 // Local dynamically binds names around Body (old values restored after).
 type Local struct {
 	Bindings []Binding
 	Body     Cmd
+	Pos      Pos
 }
 
 // For iterates bindings in parallel over their value lists.
 type For struct {
 	Bindings []Binding
 	Body     Cmd
+	Pos      Pos
 }
 
 // Match is ~ subject patterns...
 type Match struct {
 	Subject *Word
 	Pats    []*Word
+	Pos     Pos
 }
 
 // MatchExtract is ~~ subject patterns...: like Match, but the result is
@@ -136,11 +202,13 @@ type Match struct {
 type MatchExtract struct {
 	Subject *Word
 	Pats    []*Word
+	Pos     Pos
 }
 
 // Not inverts the truth of its command (the paper's ! command).
 type Not struct {
 	Body Cmd
+	Pos  Pos
 }
 
 // Surface-only nodes.
@@ -151,6 +219,7 @@ type Pipe struct {
 	LFd   int
 	RFd   int
 	Right Cmd
+	Pos   Pos
 }
 
 // AndOr is && / ||.
@@ -158,17 +227,20 @@ type AndOr struct {
 	Op    Kind // ANDAND or OROR
 	Left  Cmd
 	Right Cmd
+	Pos   Pos
 }
 
 // Bg is cmd &.
 type Bg struct {
 	Body Cmd
+	Pos  Pos
 }
 
 // RedirCmd attaches redirections to an arbitrary command, e.g. {a;b} > f.
 type RedirCmd struct {
 	Body   Cmd
 	Redirs []*Redir
+	Pos    Pos
 }
 
 // Fn is fn name params {body}; sugar for fn-name = @ params {body}.
@@ -176,6 +248,7 @@ type RedirCmd struct {
 type Fn struct {
 	Name   *Word
 	Lambda *Lambda // nil to undefine
+	Pos    Pos
 }
 
 func (*Word) part()       {}

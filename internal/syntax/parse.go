@@ -28,6 +28,9 @@ type parser struct {
 	err *ParseError
 }
 
+// pos returns the current token's source position.
+func (p *parser) pos() Pos { return Pos{Line: p.tok.Line, Col: p.tok.Col} }
+
 func (p *parser) errorf(incomplete bool, format string, args ...interface{}) {
 	if p.err == nil {
 		p.err = &ParseError{Line: p.tok.Line, Col: p.tok.Col, Msg: fmt.Sprintf(format, args...), Incomplete: incomplete}
@@ -104,8 +107,9 @@ func (p *parser) parseLines(close Kind) *Block {
 func (p *parser) parseCommandLine() Cmd {
 	c := p.parseAndOr()
 	for p.tok.Kind == AMP && p.err == nil {
+		ampPos := p.pos()
 		p.advance()
-		c = &Bg{Body: c}
+		c = &Bg{Body: c, Pos: ampPos}
 		// '&' also terminates; allow another command to follow directly.
 		if isTerminator(p.tok.Kind) || p.tok.Kind == AMP {
 			return c
@@ -120,10 +124,11 @@ func (p *parser) parseAndOr() Cmd {
 	c := p.parsePipeline()
 	for (p.tok.Kind == ANDAND || p.tok.Kind == OROR) && p.err == nil {
 		op := p.tok.Kind
+		opPos := p.pos()
 		p.advance()
 		p.skipNewlines()
 		right := p.parsePipeline()
-		c = &AndOr{Op: op, Left: c, Right: right}
+		c = &AndOr{Op: op, Left: c, Right: right, Pos: opPos}
 	}
 	return c
 }
@@ -142,7 +147,7 @@ func (p *parser) parsePipeline() Cmd {
 		if t.Fd2 >= 0 {
 			rfd = t.Fd2
 		}
-		c = &Pipe{Left: c, LFd: lfd, RFd: rfd, Right: right}
+		c = &Pipe{Left: c, LFd: lfd, RFd: rfd, Right: right, Pos: Pos{Line: t.Line, Col: t.Col}}
 	}
 	return c
 }
@@ -152,10 +157,12 @@ func (p *parser) parsePipeline() Cmd {
 func (p *parser) parseCommand() Cmd {
 	switch p.tok.Kind {
 	case BANG:
+		bangPos := p.pos()
 		p.advance()
-		return &Not{Body: p.parseCommand()}
+		return &Not{Body: p.parseCommand(), Pos: bangPos}
 	case TILDE, EXTRACT:
 		extract := p.tok.Kind == EXTRACT
+		matchPos := p.pos()
 		p.advance()
 		subj := p.parseWord()
 		if subj == nil {
@@ -171,9 +178,9 @@ func (p *parser) parseCommand() Cmd {
 			pats = append(pats, w)
 		}
 		if extract {
-			return &MatchExtract{Subject: subj, Pats: pats}
+			return &MatchExtract{Subject: subj, Pats: pats, Pos: matchPos}
 		}
-		return &Match{Subject: subj, Pats: pats}
+		return &Match{Subject: subj, Pats: pats, Pos: matchPos}
 	case WORD:
 		// Keywords only when the token is a complete word: let$x or
 		// fn^y are ordinary commands, not binding forms.
@@ -194,6 +201,7 @@ func (p *parser) parseCommand() Cmd {
 }
 
 func (p *parser) parseFn() Cmd {
+	fnPos := p.pos()
 	p.advance() // fn
 	name := p.parseWord()
 	if name == nil {
@@ -211,17 +219,19 @@ func (p *parser) parseFn() Cmd {
 	}
 	if p.tok.Kind != LBRACE {
 		if len(params) == 0 && isTerminator(p.tok.Kind) {
-			return &Fn{Name: name} // fn name: undefine
+			return &Fn{Name: name, Pos: fnPos} // fn name: undefine
 		}
 		p.errorf(p.tok.Kind == EOF, "expected '{' in fn definition")
 		return nil
 	}
+	lamPos := p.pos() // the '{'
 	body := p.parseBlock()
-	return &Fn{Name: name, Lambda: &Lambda{Params: params, HasParams: len(params) > 0, Body: body}}
+	return &Fn{Name: name, Lambda: &Lambda{Params: params, HasParams: len(params) > 0, Body: body, Pos: lamPos}, Pos: fnPos}
 }
 
 // parseBindingForm parses let/local/for (bindings) command.
 func (p *parser) parseBindingForm(kw string) Cmd {
+	kwPos := p.pos()
 	p.advance() // keyword
 	p.expect(LPAREN)
 	var bindings []Binding
@@ -268,17 +278,18 @@ func (p *parser) parseBindingForm(kw string) Cmd {
 	}
 	switch kw {
 	case "let":
-		return &Let{Bindings: bindings, Body: body}
+		return &Let{Bindings: bindings, Body: body, Pos: kwPos}
 	case "local":
-		return &Local{Bindings: bindings, Body: body}
+		return &Local{Bindings: bindings, Body: body, Pos: kwPos}
 	default:
-		return &For{Bindings: bindings, Body: body}
+		return &For{Bindings: bindings, Body: body, Pos: kwPos}
 	}
 }
 
 // parseSimple parses words and redirections; detects assignment when the
 // first word is followed by '='.
 func (p *parser) parseSimple() Cmd {
+	startPos := p.pos()
 	var words []*Word
 	var redirs []*Redir
 	for p.err == nil {
@@ -286,7 +297,7 @@ func (p *parser) parseSimple() Cmd {
 		case p.tok.Kind == REDIR:
 			t := p.tok
 			p.advance()
-			r := &Redir{Op: t.Op, Fd: t.Fd, Fd2: t.Fd2}
+			r := &Redir{Op: t.Op, Fd: t.Fd, Fd2: t.Fd2, Pos: Pos{Line: t.Line, Col: t.Col}}
 			switch {
 			case t.Heredoc:
 				// A heredoc: the lexer delivered the literal body.
@@ -317,7 +328,7 @@ func (p *parser) parseSimple() Cmd {
 				}
 				values = append(values, w)
 			}
-			return &Assign{Name: name, Values: values}
+			return &Assign{Name: name, Values: values, Pos: startPos}
 		case p.isWordStart():
 			words = append(words, p.parseWord())
 		default:
@@ -325,9 +336,9 @@ func (p *parser) parseSimple() Cmd {
 				p.errorf(p.tok.Kind == EOF, "expected command, found %s", p.tok)
 				return nil
 			}
-			c := Cmd(&Simple{Words: words})
+			c := Cmd(&Simple{Words: words, Pos: startPos})
 			if len(redirs) > 0 {
-				c = &RedirCmd{Body: c, Redirs: redirs}
+				c = &RedirCmd{Body: c, Redirs: redirs, Pos: startPos}
 			}
 			return c
 		}
@@ -381,7 +392,7 @@ func (p *parser) parseWord() *Word {
 	if !p.isWordStart() {
 		return nil
 	}
-	w := &Word{}
+	w := &Word{Pos: p.pos()}
 	first := true
 	for p.err == nil {
 		if !first {
@@ -417,6 +428,7 @@ func (p *parser) parsePart() Part {
 	case DOLLAR, COUNT, DOUBLE, FLAT:
 		return p.parseVar()
 	case PRIM:
+		primPos := p.pos()
 		p.advance()
 		if p.tok.Kind != WORD || p.tok.SpaceBefore || !plainNameText(p.tok.Text) {
 			p.errorf(p.tok.Kind == EOF, "expected primitive name after $&")
@@ -424,11 +436,12 @@ func (p *parser) parsePart() Part {
 		}
 		name := p.tok.Text
 		p.advance()
-		return &Prim{Name: name}
+		return &Prim{Name: name, Pos: primPos}
 	case BQUOTE:
+		bqPos := p.pos()
 		p.advance()
 		if p.tok.Kind == LBRACE {
-			return &CmdSub{Body: p.parseBlock()}
+			return &CmdSub{Body: p.parseBlock(), Pos: bqPos}
 		}
 		// `word is shorthand for `{word}
 		w := p.parseWord()
@@ -436,17 +449,20 @@ func (p *parser) parsePart() Part {
 			p.errorf(p.tok.Kind == EOF, "expected '{' or word after '`'")
 			return nil
 		}
-		return &CmdSub{Body: &Block{Cmds: []Cmd{&Simple{Words: []*Word{w}}}}}
+		return &CmdSub{Body: &Block{Cmds: []Cmd{&Simple{Words: []*Word{w}, Pos: w.Pos}}, Pos: w.Pos}, Pos: bqPos}
 	case RETSUB:
+		rsPos := p.pos()
 		p.advance()
 		if p.tok.Kind != LBRACE {
 			p.errorf(p.tok.Kind == EOF, "expected '{' after '<>'")
 			return nil
 		}
-		return &RetSub{Body: p.parseBlock()}
+		return &RetSub{Body: p.parseBlock(), Pos: rsPos}
 	case LBRACE:
-		return &LambdaPart{Lambda: &Lambda{Body: p.parseBlock()}}
+		lbPos := p.pos()
+		return &LambdaPart{Lambda: &Lambda{Body: p.parseBlock(), Pos: lbPos}}
 	case AT:
+		atPos := p.pos()
 		p.advance()
 		var params []string
 		for p.tok.Kind == WORD || p.tok.Kind == QWORD {
@@ -461,7 +477,7 @@ func (p *parser) parsePart() Part {
 			p.errorf(p.tok.Kind == EOF, "expected '{' in lambda")
 			return nil
 		}
-		return &LambdaPart{Lambda: &Lambda{Params: params, HasParams: true, Body: p.parseBlock()}}
+		return &LambdaPart{Lambda: &Lambda{Params: params, HasParams: true, Body: p.parseBlock(), Pos: atPos}}
 	case LPAREN:
 		p.advance()
 		lp := &ListPart{}
@@ -487,8 +503,9 @@ func (p *parser) parsePart() Part {
 // adjacent (subscript).
 func (p *parser) parseVar() Part {
 	kind := p.tok.Kind
+	varPos := p.pos()
 	p.advance()
-	v := &Var{Count: kind == COUNT, Double: kind == DOUBLE, Flat: kind == FLAT}
+	v := &Var{Count: kind == COUNT, Double: kind == DOUBLE, Flat: kind == FLAT, Pos: varPos}
 	switch {
 	case p.tok.Kind == LPAREN && !p.tok.SpaceBefore:
 		// $(computed-name)
@@ -501,7 +518,7 @@ func (p *parser) parseVar() Part {
 		p.expect(RPAREN)
 		v.Name = name
 	case (p.tok.Kind == WORD || p.tok.Kind == QWORD) && !p.tok.SpaceBefore:
-		v.Name = &Word{Parts: []Part{&Lit{Text: p.tok.Text, Quoted: p.tok.Kind == QWORD}}}
+		v.Name = &Word{Parts: []Part{&Lit{Text: p.tok.Text, Quoted: p.tok.Kind == QWORD}}, Pos: p.pos()}
 		p.advance()
 		// allow computed names like $fn-$func?  No: '$' ends the name.
 	default:
@@ -529,8 +546,10 @@ func (p *parser) parseVar() Part {
 
 // parseBlock parses { lines }.
 func (p *parser) parseBlock() *Block {
+	lbPos := p.pos()
 	p.expect(LBRACE)
 	b := p.parseLines(RBRACE)
+	b.Pos = lbPos
 	if p.err == nil && p.tok.Kind == EOF {
 		p.errorf(true, "expected '}'")
 		return b

@@ -29,13 +29,13 @@ func Rewrite(c Cmd) Cmd {
 	}
 	switch c := c.(type) {
 	case *Block:
-		out := &Block{Cmds: make([]Cmd, 0, len(c.Cmds))}
+		out := &Block{Cmds: make([]Cmd, 0, len(c.Cmds)), Pos: c.Pos}
 		for _, sub := range c.Cmds {
 			out.Cmds = append(out.Cmds, Rewrite(sub))
 		}
 		return out
 	case *Simple:
-		out := &Simple{Words: rewriteWords(c.Words)}
+		out := &Simple{Words: rewriteWords(c.Words), Pos: c.Pos}
 		if len(c.Redirs) > 0 {
 			return rewriteRedirs(out, c.Redirs)
 		}
@@ -43,19 +43,19 @@ func Rewrite(c Cmd) Cmd {
 	case *RedirCmd:
 		return rewriteRedirs(Rewrite(c.Body), c.Redirs)
 	case *Assign:
-		return &Assign{Name: rewriteWord(c.Name), Values: rewriteWords(c.Values)}
+		return &Assign{Name: rewriteWord(c.Name), Values: rewriteWords(c.Values), Pos: c.Pos}
 	case *Let:
-		return &Let{Bindings: rewriteBindings(c.Bindings), Body: Rewrite(c.Body)}
+		return &Let{Bindings: rewriteBindings(c.Bindings), Body: Rewrite(c.Body), Pos: c.Pos}
 	case *Local:
-		return &Local{Bindings: rewriteBindings(c.Bindings), Body: Rewrite(c.Body)}
+		return &Local{Bindings: rewriteBindings(c.Bindings), Body: Rewrite(c.Body), Pos: c.Pos}
 	case *For:
-		return &For{Bindings: rewriteBindings(c.Bindings), Body: Rewrite(c.Body)}
+		return &For{Bindings: rewriteBindings(c.Bindings), Body: Rewrite(c.Body), Pos: c.Pos}
 	case *Match:
-		return &Match{Subject: rewriteWord(c.Subject), Pats: rewriteWords(c.Pats)}
+		return &Match{Subject: rewriteWord(c.Subject), Pats: rewriteWords(c.Pats), Pos: c.Pos}
 	case *MatchExtract:
-		return &MatchExtract{Subject: rewriteWord(c.Subject), Pats: rewriteWords(c.Pats)}
+		return &MatchExtract{Subject: rewriteWord(c.Subject), Pats: rewriteWords(c.Pats), Pos: c.Pos}
 	case *Not:
-		return &Not{Body: Rewrite(c.Body)}
+		return &Not{Body: Rewrite(c.Body), Pos: c.Pos}
 	case *Pipe:
 		return rewritePipe(c)
 	case *AndOr:
@@ -64,27 +64,38 @@ func Rewrite(c Cmd) Cmd {
 			hook = "%or"
 		}
 		// Flatten chains of the same operator into one call.
-		words := []*Word{LitWord(hook)}
+		words := []*Word{litWordAt(c.Pos, hook)}
 		words = append(words, andOrOperands(c, c.Op)...)
-		return &Simple{Words: words}
+		return &Simple{Words: words, Pos: c.Pos}
 	case *Bg:
-		return &Simple{Words: []*Word{LitWord("%background"), thunk(c.Body)}}
+		return &Simple{Words: []*Word{litWordAt(c.Pos, "%background"), thunk(c.Body)}, Pos: c.Pos}
 	case *Fn:
 		nm := rewriteWord(c.Name)
 		var name *Word
 		if lit, ok := nm.Parts[0].(*Lit); ok && !lit.Quoted {
 			rest := append([]Part{&Lit{Text: "fn-" + lit.Text}}, nm.Parts[1:]...)
-			name = &Word{Parts: rest}
+			name = &Word{Parts: rest, Pos: nm.Pos}
 		} else {
-			name = &Word{Parts: append([]Part{&Lit{Text: "fn-"}}, nm.Parts...)}
+			name = &Word{Parts: append([]Part{&Lit{Text: "fn-"}}, nm.Parts...), Pos: nm.Pos}
 		}
 		if c.Lambda == nil {
-			return &Assign{Name: name}
+			return &Assign{Name: name, Pos: c.Pos}
 		}
-		lam := &Lambda{Params: c.Lambda.Params, HasParams: c.Lambda.HasParams, Body: rewriteBlock(c.Lambda.Body)}
-		return &Assign{Name: name, Values: []*Word{LambdaWord(lam)}}
+		lam := &Lambda{Params: c.Lambda.Params, HasParams: c.Lambda.HasParams, Body: rewriteBlock(c.Lambda.Body), Pos: c.Lambda.Pos}
+		w := LambdaWord(lam)
+		w.Pos = lam.Pos
+		return &Assign{Name: name, Values: []*Word{w}, Pos: c.Pos}
 	}
 	return c
+}
+
+// litWordAt is LitWord anchored to a source position, so words the
+// rewriter synthesizes (hook-call heads like %pipe) still point at the
+// construct they came from.
+func litWordAt(pos Pos, text string) *Word {
+	w := LitWord(text)
+	w.Pos = pos
+	return w
 }
 
 // andOrOperands flattens nested AndOr nodes with the same operator into a
@@ -99,14 +110,15 @@ func andOrOperands(c Cmd, op Kind) []*Word {
 // rewritePipe flattens a pipeline into a single %pipe call:
 // a | b | c → %pipe {a} 1 0 {b} 1 0 {c}.
 func rewritePipe(c Cmd) Cmd {
-	words := append([]*Word{LitWord("%pipe")}, pipeOperands(c)...)
-	return &Simple{Words: words}
+	pos := CmdPos(c)
+	words := append([]*Word{litWordAt(pos, "%pipe")}, pipeOperands(c)...)
+	return &Simple{Words: words, Pos: pos}
 }
 
 func pipeOperands(c Cmd) []*Word {
 	if p, ok := c.(*Pipe); ok {
 		left := pipeOperands(p.Left)
-		left = append(left, LitWord(itoa(p.LFd)), LitWord(itoa(p.RFd)))
+		left = append(left, litWordAt(p.Pos, itoa(p.LFd)), litWordAt(p.Pos, itoa(p.RFd)))
 		return append(left, pipeOperands(p.Right)...)
 	}
 	return []*Word{thunk(c)}
@@ -118,30 +130,41 @@ func rewriteRedirs(body Cmd, redirs []*Redir) Cmd {
 	out := body
 	for i := len(redirs) - 1; i >= 0; i-- {
 		r := redirs[i]
+		at := func(text string) *Word { return litWordAt(r.Pos, text) }
 		var words []*Word
 		switch r.Op {
 		case RedirTo:
-			words = []*Word{LitWord("%create"), LitWord(itoa(r.Fd)), rewriteWord(r.Target)}
+			words = []*Word{at("%create"), at(itoa(r.Fd)), rewriteWord(r.Target)}
 		case RedirAppend:
-			words = []*Word{LitWord("%append"), LitWord(itoa(r.Fd)), rewriteWord(r.Target)}
+			words = []*Word{at("%append"), at(itoa(r.Fd)), rewriteWord(r.Target)}
 		case RedirFrom:
-			words = []*Word{LitWord("%open"), LitWord(itoa(r.Fd)), rewriteWord(r.Target)}
+			words = []*Word{at("%open"), at(itoa(r.Fd)), rewriteWord(r.Target)}
 		case RedirHere:
-			words = []*Word{LitWord("%here"), LitWord(itoa(r.Fd)), rewriteWord(r.Target)}
+			words = []*Word{at("%here"), at(itoa(r.Fd)), rewriteWord(r.Target)}
 		case RedirDup:
-			words = []*Word{LitWord("%dup"), LitWord(itoa(r.Fd)), LitWord(itoa(r.Fd2))}
+			words = []*Word{at("%dup"), at(itoa(r.Fd)), at(itoa(r.Fd2))}
 		case RedirClose:
-			words = []*Word{LitWord("%close"), LitWord(itoa(r.Fd))}
+			words = []*Word{at("%close"), at(itoa(r.Fd))}
 		}
 		words = append(words, thunk(out))
-		out = &Simple{Words: words}
+		out = &Simple{Words: words, Pos: r.Pos}
 	}
 	return out
 }
 
-// thunk wraps a (rewritten) command as a parameterless {…} fragment.
+// thunk wraps a (rewritten) command as a parameterless {…} fragment
+// anchored to the source command's position.
 func thunk(c Cmd) *Word {
-	return BlockLambda(Rewrite(c))
+	pos := CmdPos(c)
+	w := BlockLambda(Rewrite(c))
+	w.Pos = pos
+	if lp, ok := w.Parts[0].(*LambdaPart); ok {
+		lp.Lambda.Pos = pos
+		if lp.Lambda.Body != nil && !lp.Lambda.Body.Pos.Known() {
+			lp.Lambda.Body.Pos = pos
+		}
+	}
+	return w
 }
 
 func rewriteBlock(b *Block) *Block {
@@ -171,7 +194,7 @@ func rewriteWord(w *Word) *Word {
 	if w == nil {
 		return nil
 	}
-	out := &Word{Parts: make([]Part, len(w.Parts))}
+	out := &Word{Parts: make([]Part, len(w.Parts)), Pos: w.Pos}
 	for i, part := range w.Parts {
 		out.Parts[i] = rewritePart(part)
 	}
@@ -181,16 +204,16 @@ func rewriteWord(w *Word) *Word {
 func rewritePart(part Part) Part {
 	switch part := part.(type) {
 	case *Var:
-		v := &Var{Name: rewriteWord(part.Name), Count: part.Count, Double: part.Double, Flat: part.Flat}
+		v := &Var{Name: rewriteWord(part.Name), Count: part.Count, Double: part.Double, Flat: part.Flat, Pos: part.Pos}
 		v.Index = rewriteWords(part.Index)
 		return v
 	case *CmdSub:
-		return &CmdSub{Body: rewriteBlock(part.Body)}
+		return &CmdSub{Body: rewriteBlock(part.Body), Pos: part.Pos}
 	case *RetSub:
-		return &RetSub{Body: rewriteBlock(part.Body)}
+		return &RetSub{Body: rewriteBlock(part.Body), Pos: part.Pos}
 	case *LambdaPart:
 		l := part.Lambda
-		return &LambdaPart{Lambda: &Lambda{Params: l.Params, HasParams: l.HasParams, Body: rewriteBlock(l.Body)}}
+		return &LambdaPart{Lambda: &Lambda{Params: l.Params, HasParams: l.HasParams, Body: rewriteBlock(l.Body), Pos: l.Pos}}
 	case *ListPart:
 		return &ListPart{Words: rewriteWords(part.Words)}
 	}

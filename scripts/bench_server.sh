@@ -1,8 +1,9 @@
 #!/bin/sh
 # bench_server.sh - the serving-layer performance baseline
 # (BenchmarkServerEval sequential/parallel, the session-spawn cost behind
-# the warm pool, and the pre-baked-from-image spawn path next to the
-# restore-per-session cost it avoids).
+# the warm pool, the pre-baked-from-image spawn path next to the
+# restore-per-session cost it avoids, and the static-analysis pass that
+# esd -vet puts on the admission path).
 #
 # Usage: scripts/bench_server.sh [benchtime]          regenerate BENCH_server.json
 #        scripts/bench_server.sh -check [benchtime]   compare against BENCH_server.json,
@@ -17,7 +18,7 @@ if [ "${1:-}" = "-check" ]; then
 fi
 benchtime="${1:-300ms}"
 
-out=$(go test -run=NONE -bench='ServerEval|ServerSession' \
+out=$(go test -run=NONE -bench='ServerEval|ServerSession|Analyze' \
 	-benchtime="$benchtime" -count=1 .)
 echo "$out"
 

@@ -18,6 +18,10 @@ echo "== go build ./..."
 go build ./...
 echo "== go test ./..."
 go test ./...
+echo "== esvet (primitive registry hygiene)"
+go run ./cmd/esvet ./internal/prim
+echo "== escheck (zero errors over lib/ and the embedded prelude)"
+go run ./cmd/escheck -prelude lib/*.es
 
 if [ "${1:-}" = "-race" ]; then
 	echo "== go vet ./..."
