@@ -28,6 +28,7 @@ import (
 
 	"es/internal/analysis"
 	"es/internal/core"
+	"es/internal/frontend"
 	"es/internal/gc"
 	"es/internal/image"
 	"es/internal/server"
@@ -597,6 +598,90 @@ func BenchmarkServerEval(b *testing.B) {
 				benchServerEval(b, fr, fw, n)
 			}
 		})
+	})
+}
+
+// benchTCPServer starts a frontend with a TCP listener next to the unix
+// socket and returns the bound TCP address.
+func benchTCPServer(b *testing.B) string {
+	b.Helper()
+	template := benchShell(b)
+	fe, err := frontend.New(frontend.Config{
+		Server: server.Config{
+			Socket:   filepath.Join(b.TempDir(), "esd.sock"),
+			PoolSize: 8,
+			NewSession: func() (*core.Interp, error) {
+				return template.Interp().Spawn(), nil
+			},
+		},
+		TCP: "127.0.0.1:0",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := fe.Listen(); err != nil {
+		b.Fatal(err)
+	}
+	go fe.Serve()
+	b.Cleanup(func() {
+		if err := fe.Drain(10 * time.Second); err != nil {
+			b.Error(err)
+		}
+	})
+	return fe.TCPAddr()
+}
+
+// BenchmarkServerEvalTCP is the round-trip over the TCP front end, serial
+// (one request in flight, paying a network RTT per eval) against
+// pipelined (a hello-negotiated window keeps the connection full, so the
+// RTT is amortized across the window).
+func BenchmarkServerEvalTCP(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		addr := benchTCPServer(b)
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		fr, fw := server.NewClientConn(conn)
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			benchServerEval(b, fr, fw, int64(n))
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		addr := benchTCPServer(b)
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		fr, fw := server.NewClientConn(conn)
+		if err := fw.Write(&server.Frame{Type: "hello", Window: 16}); err != nil {
+			b.Fatal(err)
+		}
+		if f, err := fr.Read(); err != nil || f.Type != "hello" || f.Window < 2 {
+			b.Fatalf("hello = %+v, %v", f, err)
+		}
+		b.ResetTimer()
+		// The writer floods evals; the server's window plus TCP
+		// backpressure bound how far it runs ahead of the reads.
+		go func() {
+			for n := 0; n < b.N; n++ {
+				if err := fw.Write(&server.Frame{Type: "eval", ID: int64(n), Src: "result 0"}); err != nil {
+					return
+				}
+			}
+		}()
+		for n := 0; n < b.N; n++ {
+			f, err := fr.Read()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if f.Type != "result" || !f.True {
+				b.Fatalf("reply = %+v", f)
+			}
+		}
 	})
 }
 

@@ -3,10 +3,17 @@
 //
 // Usage:
 //
-//	esc [-socket path] [-deadline ms] 'command ...'
+//	esc [-socket path | -addr host:port] [-deadline ms] 'command ...'
 //	esc -stats
 //	esc -check 'command ...'
 //	esc [-restore file] [-migrate socket] [-snap file] ['command ...']
+//
+// -addr dials the daemon over TCP instead of the unix socket; -tls wraps
+// that connection in TLS (-tls-ca pins a PEM CA bundle, -tls-skip-verify
+// disables verification for lab setups).  -tenant names the session's
+// quota bucket via a hello handshake before any other frame.  -retry
+// bounds connect attempts with exponential backoff (50ms doubling to
+// 1s), so scripted runs don't flake on daemon startup.
 //
 // The command's captured stdout and stderr are replayed to esc's own
 // streams; the exit status follows the es convention (0 for a true
@@ -31,6 +38,8 @@
 package main
 
 import (
+	"crypto/tls"
+	"crypto/x509"
 	"encoding/base64"
 	"flag"
 	"fmt"
@@ -38,6 +47,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"es/internal/server"
 )
@@ -59,6 +69,12 @@ func defaultSocket() string {
 func run() int {
 	var (
 		socket      = flag.String("socket", defaultSocket(), "esd unix socket `path` (or $ESD_SOCKET)")
+		addr        = flag.String("addr", "", "dial the daemon over TCP at `host:port` instead of the unix socket")
+		useTLS      = flag.Bool("tls", false, "wrap the -addr connection in TLS")
+		tlsCA       = flag.String("tls-ca", "", "PEM CA bundle `file` to verify the daemon against")
+		tlsSkip     = flag.Bool("tls-skip-verify", false, "skip TLS certificate verification")
+		tenant      = flag.String("tenant", "", "declare this session's quota `tenant` via a hello handshake")
+		retry       = flag.Int("retry", 3, "connect `attempts` with exponential backoff")
 		deadlineMS  = flag.Int64("deadline", 0, "per-request deadline in `ms` (0 = server default)")
 		stats       = flag.Bool("stats", false, "print server statistics and exit")
 		checkOnly   = flag.Bool("check", false, "statically analyze the command on the daemon instead of running it")
@@ -68,11 +84,11 @@ func run() int {
 	)
 	flag.Parse()
 	if !*stats && flag.NArg() == 0 && *snapFile == "" && *restoreFile == "" && *migrateSock == "" {
-		fmt.Fprintln(os.Stderr, "usage: esc [-socket path] [-deadline ms] [-restore file] [-migrate socket] [-snap file] ['command ...'] | esc -stats")
+		fmt.Fprintln(os.Stderr, "usage: esc [-socket path | -addr host:port] [-deadline ms] [-restore file] [-migrate socket] [-snap file] ['command ...'] | esc -stats")
 		return 2
 	}
 
-	conn, err := net.Dial("unix", *socket)
+	conn, err := dialDaemon(*socket, *addr, *useTLS, *tlsCA, *tlsSkip, *retry)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "esc:", err)
 		return 1
@@ -99,6 +115,15 @@ func run() int {
 			return nil, fmt.Errorf("%s: %s", req.Type, strings.Join(f.Exception, " "))
 		}
 		return f, nil
+	}
+
+	// Tenancy is declared before anything else runs, so every frame on
+	// this connection is accounted (and quota-checked) under the tenant.
+	if *tenant != "" {
+		if _, err := roundTrip(&server.Frame{Type: "hello", Tenant: *tenant}); err != nil {
+			fmt.Fprintln(os.Stderr, "esc:", err)
+			return 1
+		}
 	}
 
 	if *stats {
@@ -190,6 +215,65 @@ func run() int {
 		}
 	}
 	return status
+}
+
+// dialDaemon connects over the unix socket, or over TCP (optionally
+// TLS-wrapped) when addr is set, retrying failed connects with bounded
+// exponential backoff so load-harness and soak runs don't flake on
+// daemon startup.
+func dialDaemon(socket, addr string, useTLS bool, caFile string, skipVerify bool, attempts int) (net.Conn, error) {
+	network, target := "unix", socket
+	if addr != "" {
+		network, target = "tcp", addr
+	}
+	var tcfg *tls.Config
+	if useTLS {
+		if network != "tcp" {
+			return nil, fmt.Errorf("-tls needs -addr")
+		}
+		tcfg = &tls.Config{InsecureSkipVerify: skipVerify, MinVersion: tls.VersionTLS12}
+		if host, _, err := net.SplitHostPort(addr); err == nil {
+			tcfg.ServerName = host
+		}
+		if caFile != "" {
+			pem, err := os.ReadFile(caFile)
+			if err != nil {
+				return nil, err
+			}
+			pool := x509.NewCertPool()
+			if !pool.AppendCertsFromPEM(pem) {
+				return nil, fmt.Errorf("%s: no certificates found", caFile)
+			}
+			tcfg.RootCAs = pool
+		}
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := 50 * time.Millisecond
+	var err error
+	for k := 0; k < attempts; k++ {
+		if k > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		var conn net.Conn
+		if conn, err = net.Dial(network, target); err != nil {
+			continue
+		}
+		if tcfg == nil {
+			return conn, nil
+		}
+		tc := tls.Client(conn, tcfg)
+		if err = tc.Handshake(); err != nil {
+			conn.Close()
+			continue
+		}
+		return tc, nil
+	}
+	return nil, err
 }
 
 // statusOf maps a result frame to an exit status the way cmd/es maps a

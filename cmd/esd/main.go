@@ -1,10 +1,15 @@
 // Command esd is the es evaluation daemon: it serves concurrent es
-// sessions over a unix-domain socket with a newline-delimited JSON
-// protocol (see internal/server).
+// sessions over a unix-domain socket — and, with the fleet front end
+// enabled, over TCP and TLS — with a newline-delimited JSON protocol
+// (see internal/server and internal/frontend).
 //
 // Usage:
 //
-//	esd [-socket path] [-template image] [-pool n] [-max n] [-deadline ms] [-vet] [-drain-timeout s] [-quiet]
+//	esd [-socket path] [-tcp addr] [-tls addr -tls-cert f -tls-key f]
+//	    [-accepts n] [-window n] [-max-p99 ms] [-max-queue n] [-retry-after ms]
+//	    [-quota tenant=sessions:inflight:deadline_ms]...
+//	    [-template image] [-pool n] [-max n] [-deadline ms] [-vet]
+//	    [-addr-file path] [-drain-timeout s] [-quiet]
 //
 // Each session owns one interpreter spawned from a warm template (shell
 // state, including function definitions, arrives through esd's own
@@ -16,8 +21,20 @@
 // the script as the catchable exception `signal deadline`.  With -vet,
 // every eval frame passes static analysis before admission: a script with
 // static errors is answered with an error frame and never evaluated.
-// SIGTERM or SIGINT triggers a graceful drain: stop accepting, answer
-// every request already accepted, say bye, exit 0.
+//
+// -tcp and -tls add listeners next to the unix socket (":0" picks a free
+// port; -addr-file writes the bound addresses as `tcp=addr` / `tls=addr`
+// lines for scripts to pick up).  -window caps the per-session pipeline
+// window a hello frame can be granted.  -max-p99 and -max-queue arm the
+// admission controller: evals arriving while the sliding-window p99 or
+// the dispatch-queue depth is over its ceiling are answered with a
+// retryable `signal overload` error frame carrying retry_after_ms.
+// -quota sets one tenant's ceilings (0 means unlimited), e.g.
+// `-quota acme=100:16:5000` — 100 sessions, 16 in-flight evals, 5s
+// deadline ceiling.
+//
+// SIGTERM or SIGINT triggers a graceful drain: stop accepting on every
+// listener, answer every request already accepted, say bye, exit 0.
 package main
 
 import (
@@ -28,11 +45,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"es"
 	"es/internal/core"
+	"es/internal/frontend"
 	"es/internal/image"
 	"es/internal/server"
 )
@@ -50,9 +70,50 @@ func defaultSocket() string {
 	return fmt.Sprintf("/tmp/esd-%d.sock", os.Getuid())
 }
 
+// quotaFlag accumulates repeated -quota tenant=sessions:inflight:deadline_ms.
+type quotaFlag map[string]server.TenantQuota
+
+func (q quotaFlag) String() string { return fmt.Sprintf("%v", map[string]server.TenantQuota(q)) }
+
+func (q quotaFlag) Set(s string) error {
+	name, spec, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want tenant=sessions:inflight:deadline_ms, got %q", s)
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want tenant=sessions:inflight:deadline_ms, got %q", s)
+	}
+	var n [3]int
+	for k, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return fmt.Errorf("bad quota field %q in %q", p, s)
+		}
+		n[k] = v
+	}
+	q[name] = server.TenantQuota{
+		MaxSessions:     n[0],
+		MaxInFlight:     n[1],
+		DeadlineCeiling: time.Duration(n[2]) * time.Millisecond,
+	}
+	return nil
+}
+
 func run() int {
+	quotas := quotaFlag{}
 	var (
 		socket       = flag.String("socket", defaultSocket(), "unix socket `path` to serve on")
+		tcpAddr      = flag.String("tcp", "", "also serve plaintext TCP on `addr` (\":0\" picks a port)")
+		tlsAddr      = flag.String("tls", "", "also serve TLS on `addr`")
+		tlsCert      = flag.String("tls-cert", "", "PEM certificate `file` for -tls")
+		tlsKey       = flag.String("tls-key", "", "PEM private key `file` for -tls")
+		accepts      = flag.Int("accepts", 2, "parallel accept goroutines per TCP/TLS listener")
+		maxWindow    = flag.Int("window", 32, "max per-session pipeline window grantable by hello")
+		maxP99       = flag.Int("max-p99", 0, "shed evals while the sliding-window p99 exceeds this many `ms` (0 = off)")
+		maxQueue     = flag.Int("max-queue", 0, "shed evals while this many are queued but not running (0 = off)")
+		retryAfter   = flag.Int64("retry-after", 100, "retry_after_ms hint stamped on shed frames")
+		addrFile     = flag.String("addr-file", "", "write bound tcp=/tls= addresses to `path` (for \":0\" ports)")
 		templateImg  = flag.String("template", "", "session `image` to pre-bake pool interpreters from")
 		poolSize     = flag.Int("pool", 4, "warm pre-spawned interpreters")
 		maxConc      = flag.Int("max", runtime.GOMAXPROCS(0), "max concurrent evaluations")
@@ -61,6 +122,7 @@ func run() int {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful drain may take")
 		quiet        = flag.Bool("quiet", false, "suppress lifecycle logging")
 	)
+	flag.Var(quotas, "quota", "tenant quota as `tenant=sessions:inflight:deadline_ms` (repeatable, 0 = unlimited)")
 	flag.Parse()
 
 	// The template interpreter: primitives, coreutils, initial.es and the
@@ -93,34 +155,59 @@ func run() int {
 		logger := log.New(os.Stderr, "", log.LstdFlags)
 		logf = logger.Printf
 	}
-	srv, err := server.New(server.Config{
-		Socket:          *socket,
-		PoolSize:        *poolSize,
-		MaxConcurrent:   *maxConc,
-		DefaultDeadline: time.Duration(*deadlineMS) * time.Millisecond,
-		Vet:             *vet,
-		NewSession:      newSession,
-		Logf:            logf,
+	fe, err := frontend.New(frontend.Config{
+		Server: server.Config{
+			Socket:          *socket,
+			PoolSize:        *poolSize,
+			MaxConcurrent:   *maxConc,
+			MaxWindow:       *maxWindow,
+			DefaultDeadline: time.Duration(*deadlineMS) * time.Millisecond,
+			Vet:             *vet,
+			Tenants:         quotas,
+			NewSession:      newSession,
+			Logf:            logf,
+		},
+		TCP:          *tcpAddr,
+		TLS:          *tlsAddr,
+		CertFile:     *tlsCert,
+		KeyFile:      *tlsKey,
+		Accepts:      *accepts,
+		P99Ceiling:   time.Duration(*maxP99) * time.Millisecond,
+		QueueCeiling: *maxQueue,
+		RetryAfterMS: *retryAfter,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "esd:", err)
 		return 1
 	}
-	if err := srv.Listen(); err != nil {
+	if err := fe.Listen(); err != nil {
 		fmt.Fprintln(os.Stderr, "esd:", err)
 		return 1
 	}
 	defer os.Remove(*socket)
+	if *addrFile != "" {
+		var lines string
+		if a := fe.TCPAddr(); a != "" {
+			lines += "tcp=" + a + "\n"
+		}
+		if a := fe.TLSAddr(); a != "" {
+			lines += "tls=" + a + "\n"
+		}
+		if err := os.WriteFile(*addrFile, []byte(lines), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "esd:", err)
+			return 1
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	drainErr := make(chan error, 1)
 	go func() {
 		<-sig
-		drainErr <- srv.Drain(*drainTimeout)
+		drainErr <- fe.Drain(*drainTimeout)
 	}()
 
-	if err := srv.Serve(); err != nil {
+	if err := fe.Serve(); err != nil {
 		fmt.Fprintln(os.Stderr, "esd: serve:", err)
 		return 1
 	}

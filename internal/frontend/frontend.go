@@ -1,0 +1,189 @@
+// Package frontend is the fleet-facing serving layer over
+// internal/server: it takes the daemon from "one unix socket, serial
+// sessions" to a front end that can face real traffic.  It owns
+//
+//   - transport: TCP and TLS listeners next to the unix socket, each
+//     with N parallel accept goroutines (accept sharding) and its own
+//     session/byte counters in serverstats;
+//
+//   - admission: a controller sampling the server's latency histogram on
+//     a fixed period, computing the p99 of the interval delta (the
+//     lifetime histogram answers "how has it ever been", a controller
+//     needs "how is it right now"), and shedding new evals with
+//     retryable `signal overload` error frames when that p99 or the
+//     dispatch-queue depth crosses its ceiling.
+//
+// Session semantics — pipelining windows, tenant quotas, per-id reply
+// ordering — live in internal/server; this package decides what gets to
+// reach them.
+package frontend
+
+import (
+	"crypto/tls"
+	"errors"
+	"net"
+	"time"
+
+	"es/internal/server"
+)
+
+// Config configures a Frontend.  Server carries everything the inner
+// daemon needs (socket path, pool, quotas, ...); the fields here are the
+// front end's own: extra listeners and admission ceilings.
+type Config struct {
+	Server server.Config
+
+	// TCP, when non-empty, is a host:port to serve plaintext TCP on
+	// (":0" picks a free port; see TCPAddr).
+	TCP string
+
+	// TLS, when non-empty, is a host:port to serve TLS on; CertFile and
+	// KeyFile must name a PEM certificate/key pair.
+	TLS      string
+	CertFile string
+	KeyFile  string
+
+	// Accepts is the number of parallel accept goroutines per TCP/TLS
+	// listener (default 2).
+	Accepts int
+
+	// P99Ceiling, when positive, turns on p99-aware shedding: while the
+	// p99 of evals completed in the last sample period exceeds it, new
+	// evals are answered `signal overload` instead of queueing.
+	P99Ceiling time.Duration
+
+	// QueueCeiling, when positive, sheds evals arriving while the
+	// dispatch-queue depth (admitted evals not yet running) is at or
+	// over it.
+	QueueCeiling int
+
+	// RetryAfterMS is the retry hint stamped on shed frames (default 100).
+	RetryAfterMS int64
+
+	// SamplePeriod is how often the controller re-reads the histogram
+	// (default 100ms).
+	SamplePeriod time.Duration
+}
+
+// Frontend is a Server plus its listeners and admission controller.
+type Frontend struct {
+	cfg  Config
+	srv  *server.Server
+	ctrl *controller
+	tcp  net.Listener
+	tlsL net.Listener
+}
+
+// New builds the inner server with the front end's admission controller
+// wired into its eval path.  Nothing is bound until Listen.
+func New(cfg Config) (*Frontend, error) {
+	if cfg.Accepts <= 0 {
+		cfg.Accepts = 2
+	}
+	if cfg.RetryAfterMS <= 0 {
+		cfg.RetryAfterMS = 100
+	}
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = 100 * time.Millisecond
+	}
+	f := &Frontend{cfg: cfg}
+	scfg := cfg.Server
+	if cfg.P99Ceiling > 0 || cfg.QueueCeiling > 0 {
+		// The controller is constructed against the server's metrics, but
+		// the server needs the Admit hook at construction; close over the
+		// field and fill it below.
+		scfg.AdmitEval = func() *server.Overload { return f.ctrl.admit() }
+	}
+	srv, err := server.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	f.srv = srv
+	f.ctrl = newController(srv.Metrics(), cfg)
+	return f, nil
+}
+
+// Server exposes the inner daemon (stats, drain, tests).
+func (f *Frontend) Server() *server.Server { return f.srv }
+
+// Socket is the unix socket path the inner daemon serves on.
+func (f *Frontend) Socket() string { return f.cfg.Server.Socket }
+
+// TCPAddr is the bound TCP address after Listen ("" without a TCP
+// listener) — the way scripts and tests discover a ":0" port.
+func (f *Frontend) TCPAddr() string {
+	if f.tcp == nil {
+		return ""
+	}
+	return f.tcp.Addr().String()
+}
+
+// TLSAddr is the bound TLS address after Listen.
+func (f *Frontend) TLSAddr() string {
+	if f.tlsL == nil {
+		return ""
+	}
+	return f.tlsL.Addr().String()
+}
+
+// Listen binds every configured surface: the unix socket (with its
+// stale-takeover lock), then TCP, then TLS.
+func (f *Frontend) Listen() error {
+	if err := f.srv.Listen(); err != nil {
+		return err
+	}
+	if f.cfg.TCP != "" {
+		ln, err := net.Listen("tcp", f.cfg.TCP)
+		if err != nil {
+			return err
+		}
+		f.tcp = ln
+	}
+	if f.cfg.TLS != "" {
+		if f.cfg.CertFile == "" || f.cfg.KeyFile == "" {
+			return errors.New("frontend: TLS listener needs CertFile and KeyFile")
+		}
+		cert, err := tls.LoadX509KeyPair(f.cfg.CertFile, f.cfg.KeyFile)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", f.cfg.TLS)
+		if err != nil {
+			return err
+		}
+		f.tlsL = tls.NewListener(ln, &tls.Config{
+			Certificates: []tls.Certificate{cert},
+			MinVersion:   tls.VersionTLS12,
+		})
+	}
+	return nil
+}
+
+// Serve attaches the TCP/TLS listeners (each with the configured accept
+// parallelism), starts the admission controller, and serves the unix
+// socket in the foreground until drain.
+func (f *Frontend) Serve() error {
+	if f.tcp != nil {
+		f.srv.AddListener(f.tcp, "tcp", f.cfg.Accepts)
+	}
+	if f.tlsL != nil {
+		f.srv.AddListener(f.tlsL, "tls", f.cfg.Accepts)
+	}
+	f.ctrl.start()
+	return f.srv.Serve()
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (f *Frontend) ListenAndServe() error {
+	if err := f.Listen(); err != nil {
+		return err
+	}
+	return f.Serve()
+}
+
+// Drain stops the controller and gracefully drains the server (which
+// closes every listener, unix and attached alike).
+func (f *Frontend) Drain(timeout time.Duration) error {
+	f.ctrl.stop()
+	return f.srv.Drain(timeout)
+}

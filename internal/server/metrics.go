@@ -9,6 +9,7 @@ package server
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -33,10 +34,41 @@ type Metrics struct {
 	Snapshots      atomic.Int64 // snap frames served
 	Restores       atomic.Int64 // restore frames applied
 	Migrations     atomic.Int64 // sessions handed to another daemon
+	Queued         atomic.Int64 // evals admitted but not yet running (the dispatch-queue depth)
+	Sheds          atomic.Int64 // evals refused by admission control (`signal overload`)
+	QuotaRejects   atomic.Int64 // evals/sessions refused by tenant quotas (`signal quota`)
 	BytesIn        atomic.Int64
 	BytesOut       atomic.Int64
 
 	lat [latBuckets]atomic.Int64
+
+	lmu       sync.Mutex
+	listeners []*ListenerStats
+}
+
+// ListenerStats is the per-listener slice of the transport counters: one
+// per accept surface (unix, tcp, tls), registered by the serving layer
+// and folded into Words after the globals.
+type ListenerStats struct {
+	Name     string
+	Sessions atomic.Int64
+	BytesIn  atomic.Int64
+	BytesOut atomic.Int64
+}
+
+// RegisterListener adds (or returns the existing) per-listener counter
+// set under name.
+func (m *Metrics) RegisterListener(name string) *ListenerStats {
+	m.lmu.Lock()
+	defer m.lmu.Unlock()
+	for _, ls := range m.listeners {
+		if ls.Name == name {
+			return ls
+		}
+	}
+	ls := &ListenerStats{Name: name}
+	m.listeners = append(m.listeners, ls)
+	return ls
 }
 
 // Observe records one eval's wall-clock latency.  Sub-microsecond
@@ -77,11 +109,27 @@ func bucketUpper(k int) time.Duration {
 // that bucket's upper edge, claiming a "minimum" larger than an
 // observation that was actually made.
 func (m *Metrics) Quantile(q float64) time.Duration {
-	var counts [latBuckets]int64
-	var total int64
+	return QuantileOfCounts(m.Buckets(), q)
+}
+
+// Buckets snapshots the latency histogram counts, bucket edges as
+// documented above.  Controllers that want a sliding window keep the
+// previous snapshot and take the difference.
+func (m *Metrics) Buckets() []int64 {
+	counts := make([]int64, latBuckets)
 	for k := range m.lat {
 		counts[k] = m.lat[k].Load()
-		total += counts[k]
+	}
+	return counts
+}
+
+// QuantileOfCounts is Quantile over an arbitrary count vector with the
+// same bucket edges — the piece admission controllers run over an
+// interval delta of Buckets rather than the lifetime histogram.
+func QuantileOfCounts(counts []int64, q float64) time.Duration {
+	var total int64
+	for _, c := range counts {
+		total += c
 	}
 	if total == 0 {
 		return 0
@@ -104,7 +152,7 @@ func (m *Metrics) Quantile(q float64) time.Duration {
 			return bucketUpper(k)
 		}
 	}
-	return bucketUpper(latBuckets - 1)
+	return bucketUpper(len(counts) - 1)
 }
 
 // Words renders the counters as name:value words, the wire/script surface
@@ -112,7 +160,7 @@ func (m *Metrics) Quantile(q float64) time.Duration {
 // shape as $&cachestats).  The order is fixed so output is diffable.
 func (m *Metrics) Words() []string {
 	open := m.SessionsOpened.Load() - m.SessionsClosed.Load()
-	return []string{
+	words := []string{
 		fmt.Sprintf("sessions_open:%d", open),
 		fmt.Sprintf("sessions_total:%d", m.SessionsOpened.Load()),
 		fmt.Sprintf("evals:%d", m.Evals.Load()),
@@ -124,11 +172,25 @@ func (m *Metrics) Words() []string {
 		fmt.Sprintf("snapshots:%d", m.Snapshots.Load()),
 		fmt.Sprintf("restores:%d", m.Restores.Load()),
 		fmt.Sprintf("migrations:%d", m.Migrations.Load()),
+		fmt.Sprintf("queued:%d", m.Queued.Load()),
+		fmt.Sprintf("sheds:%d", m.Sheds.Load()),
+		fmt.Sprintf("quota_rejects:%d", m.QuotaRejects.Load()),
 		fmt.Sprintf("bytes_in:%d", m.BytesIn.Load()),
 		fmt.Sprintf("bytes_out:%d", m.BytesOut.Load()),
 		fmt.Sprintf("p50_us:%d", m.Quantile(0.50).Microseconds()),
 		fmt.Sprintf("p99_us:%d", m.Quantile(0.99).Microseconds()),
 	}
+	m.lmu.Lock()
+	listeners := append([]*ListenerStats(nil), m.listeners...)
+	m.lmu.Unlock()
+	for _, ls := range listeners {
+		words = append(words,
+			fmt.Sprintf("lst_%s_sessions:%d", ls.Name, ls.Sessions.Load()),
+			fmt.Sprintf("lst_%s_bytes_in:%d", ls.Name, ls.BytesIn.Load()),
+			fmt.Sprintf("lst_%s_bytes_out:%d", ls.Name, ls.BytesOut.Load()),
+		)
+	}
+	return words
 }
 
 // sessionMetrics is the per-session slice of the same counters, reported

@@ -14,13 +14,17 @@
 //
 // The protocol is newline-delimited JSON, one Frame per line.  Clients
 // send eval, stats and bye frames; the server answers with result, error,
-// stats and bye frames.  Within a session requests are processed in
-// order; concurrency comes from sessions.
+// stats and bye frames.  A session that never says hello is served
+// serially, exactly as before the fleet front end existed; a hello frame
+// may negotiate a pipeline window (several evals in flight, replies
+// matched by id, ordering guaranteed only per id) and name a tenant for
+// quota accounting.  Cross-session concurrency comes from sessions.
 package server
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -47,7 +51,19 @@ import (
 //	                   diagnostic), Effects (capability categories the
 //	                   script reaches), True when the script carries no
 //	                   static errors.  Nothing is evaluated.
-//	bye     (either) — Reason on the server side ("bye", "drain")
+//	hello   (client) — optional ID, Tenant (name for quota accounting),
+//	                   Window (requested pipeline window); (server) — ID,
+//	                   Tenant, Window (the granted window, clamped to the
+//	                   server's ceiling), True.  The server never sends a
+//	                   hello unsolicited, so clients that predate it see
+//	                   only the frame types they always saw.
+//	bye     (either) — Reason on the server side ("bye", "drain",
+//	                   "quota", "frame too large")
+//
+// A shed eval — admission control refusing work under overload, or a
+// tenant over its in-flight quota — is answered with an error frame whose
+// Exception begins `signal overload` (or `signal quota`) and whose
+// RetryAfterMS tells the client when a retry is worth attempting.
 type Frame struct {
 	Type       string   `json:"type"`
 	ID         int64    `json:"id,omitempty"`
@@ -65,36 +81,54 @@ type Frame struct {
 	Socket     string   `json:"socket,omitempty"`  // migrate target
 	Diags      []string `json:"diags,omitempty"`   // check: one word per diagnostic
 	Effects    []string `json:"effects,omitempty"` // check: capability categories
+
+	Tenant       string `json:"tenant,omitempty"`         // hello: tenant name for quotas
+	Window       int    `json:"window,omitempty"`         // hello: requested/granted pipeline window
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"` // error(overload/quota): retry hint
 }
 
 // maxFrameBytes bounds one frame line; a client shipping a larger script
-// gets an error frame rather than an unbounded buffer.
+// gets an error frame (see ErrFrameTooLarge and the session read loop)
+// rather than an unbounded buffer.
 const maxFrameBytes = 8 << 20
 
+// ErrFrameTooLarge reports a frame line over maxFrameBytes.  The
+// underlying bufio.Scanner cannot resynchronize past the oversized line,
+// so the stream is unusable after this error; the session answers with an
+// error frame and a bye rather than dying silently.
+var ErrFrameTooLarge = fmt.Errorf("frame exceeds %d bytes: %w", maxFrameBytes, bufio.ErrTooLong)
+
 // FrameReader decodes newline-delimited frames, counting wire bytes into
-// the shared metrics counter.
+// the given metrics counters (nil counters are skipped; sessions count
+// into both the server-wide and the per-listener counter).
 type FrameReader struct {
 	s  *bufio.Scanner
-	in *atomic.Int64
+	in []*atomic.Int64
 }
 
-func NewFrameReader(r io.Reader, in *atomic.Int64) *FrameReader {
+func NewFrameReader(r io.Reader, in ...*atomic.Int64) *FrameReader {
 	s := bufio.NewScanner(r)
 	s.Buffer(make([]byte, 64<<10), maxFrameBytes)
 	return &FrameReader{s: s, in: in}
 }
 
-// Read returns the next frame; io.EOF at end of stream.
+// Read returns the next frame; io.EOF at end of stream, ErrFrameTooLarge
+// for a line over the frame-size bound.
 func (fr *FrameReader) Read() (*Frame, error) {
 	if !fr.s.Scan() {
 		if err := fr.s.Err(); err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				return nil, ErrFrameTooLarge
+			}
 			return nil, err
 		}
 		return nil, io.EOF
 	}
 	line := fr.s.Bytes()
-	if fr.in != nil {
-		fr.in.Add(int64(len(line) + 1))
+	for _, c := range fr.in {
+		if c != nil {
+			c.Add(int64(len(line) + 1))
+		}
 	}
 	var f Frame
 	if err := json.Unmarshal(line, &f); err != nil {
@@ -104,14 +138,15 @@ func (fr *FrameReader) Read() (*Frame, error) {
 }
 
 // FrameWriter encodes frames one per line.  It serializes writers: the
-// session goroutine and the server's drain path may both say goodbye.
+// session goroutine, the read loop's admission path, and the server's
+// drain path may all speak on one connection.
 type FrameWriter struct {
 	mu  sync.Mutex
 	w   io.Writer
-	out *atomic.Int64
+	out []*atomic.Int64
 }
 
-func NewFrameWriter(w io.Writer, out *atomic.Int64) *FrameWriter {
+func NewFrameWriter(w io.Writer, out ...*atomic.Int64) *FrameWriter {
 	return &FrameWriter{w: w, out: out}
 }
 
@@ -130,8 +165,10 @@ func (fw *FrameWriter) Write(f *Frame) error {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
 	n, err := fw.w.Write(b)
-	if fw.out != nil {
-		fw.out.Add(int64(n))
+	for _, c := range fw.out {
+		if c != nil {
+			c.Add(int64(n))
+		}
 	}
 	return err
 }

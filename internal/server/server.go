@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"es/internal/core"
@@ -28,6 +29,11 @@ type Config struct {
 	// semaphore in arrival order.
 	MaxConcurrent int
 
+	// MaxWindow is the largest per-session pipeline window a hello frame
+	// can be granted (default 32).  Sessions that never say hello run
+	// with a window of 1 — the pre-pipelining serial behavior.
+	MaxWindow int
+
 	// DefaultDeadline applies to eval frames that do not carry their own
 	// deadline_ms; zero means no server-imposed deadline.
 	DefaultDeadline time.Duration
@@ -36,6 +42,16 @@ type Config struct {
 	// a script with static errors (parse failure, unregistered $&primitive)
 	// is answered with an error frame and never evaluated.
 	Vet bool
+
+	// Tenants maps tenant names (from the hello frame) to their quotas.
+	// Tenants absent from the map are unlimited but still accounted.
+	Tenants map[string]TenantQuota
+
+	// AdmitEval, when set, is consulted once per arriving eval frame
+	// before it is queued; a non-nil Overload sheds the eval with a
+	// retryable `signal overload` error frame.  internal/frontend wires
+	// its p99/queue-depth controller here.
+	AdmitEval func() *Overload
 
 	// NewSession builds one detached session interpreter.  The usual
 	// implementation spawns from a warm template:
@@ -50,22 +66,36 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// Overload is an admission controller's verdict when it refuses an eval:
+// the client sees an error frame `signal <Signal> <Reason>` carrying
+// RetryAfterMS as a retry hint.
+type Overload struct {
+	Signal       string // "overload" (shed) or "quota" (tenant ceiling)
+	Reason       string
+	RetryAfterMS int64
+}
+
 // Server is a concurrent es evaluation daemon.
 type Server struct {
 	cfg     Config
 	ln      net.Listener
+	lock    *os.File // flock-held sentinel next to the unix socket
+	unixLS  *ListenerStats
 	pool    *pool
 	sem     chan struct{}
 	metrics Metrics
+	tenants *tenantSet
 
 	drainCh   chan struct{} // closed when draining starts
 	draining  atomic.Bool
 	drainOnce sync.Once
 
 	mu       sync.Mutex
+	extra    []net.Listener // TCP/TLS listeners attached by the front end
 	sessions map[uint64]*session
 	nextID   atomic.Uint64
 	wg       sync.WaitGroup // one per session goroutine
+	lnWG     sync.WaitGroup // one per accept goroutine on extra listeners
 }
 
 // New builds a Server and wires $&serverstats: scripts evaluated anywhere
@@ -81,6 +111,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxWindow <= 0 {
+		cfg.MaxWindow = 32
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -88,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		pool:     newPool(cfg.PoolSize, cfg.NewSession),
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		tenants:  newTenantSet(cfg.Tenants),
 		drainCh:  make(chan struct{}),
 		sessions: make(map[uint64]*session),
 	}
@@ -95,23 +129,60 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// admitEval decides one arriving eval's fate before it is queued: nil
+// admits it; a non-nil Overload sheds it with a retryable error frame.
+// Tenant in-flight quotas are checked first (they are the tighter,
+// attributable signal), then the pluggable controller.
+func (s *Server) admitEval(t *tenantState) *Overload {
+	if t != nil && t.quota.MaxInFlight > 0 && t.inflight.Load() >= int64(t.quota.MaxInFlight) {
+		s.metrics.QuotaRejects.Add(1)
+		return &Overload{Signal: "quota",
+			Reason:       "tenant " + t.name + " in-flight quota exhausted",
+			RetryAfterMS: 100}
+	}
+	if s.cfg.AdmitEval != nil {
+		if ov := s.cfg.AdmitEval(); ov != nil {
+			s.metrics.Sheds.Add(1)
+			return ov
+		}
+	}
+	return nil
+}
+
 // Listen binds the unix socket, replacing a stale socket file left by a
-// dead daemon.
+// dead daemon.  Takeover is guarded by an exclusive flock on a sentinel
+// file next to the socket: two daemons racing for the same stale socket
+// would otherwise both pass the liveness dial check and the loser's
+// Listen would silently unlink the winner's freshly bound socket.  The
+// kernel drops the lock when the owner dies, so a crashed daemon never
+// wedges the path.
 func (s *Server) Listen() error {
+	lock, err := os.OpenFile(s.cfg.Socket+".lock", os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return fmt.Errorf("server: %s: daemon already running (lock held)", s.cfg.Socket)
+	}
 	if fi, err := os.Stat(s.cfg.Socket); err == nil && fi.Mode()&os.ModeSocket != 0 {
 		if c, err := net.Dial("unix", s.cfg.Socket); err == nil {
 			c.Close()
+			lock.Close()
 			return fmt.Errorf("server: %s: daemon already running", s.cfg.Socket)
 		}
 		os.Remove(s.cfg.Socket)
 	}
 	ln, err := net.Listen("unix", s.cfg.Socket)
 	if err != nil {
+		lock.Close()
 		return err
 	}
 	s.ln = ln
-	s.cfg.Logf("esd: listening on %s (pool=%d max=%d)",
-		s.cfg.Socket, s.cfg.PoolSize, s.cfg.MaxConcurrent)
+	s.lock = lock
+	s.unixLS = s.metrics.RegisterListener("unix")
+	s.cfg.Logf("esd: listening on %s (pool=%d max=%d window=%d)",
+		s.cfg.Socket, s.cfg.PoolSize, s.cfg.MaxConcurrent, s.cfg.MaxWindow)
 	return nil
 }
 
@@ -129,8 +200,43 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
-		s.startSession(conn)
+		s.startSession(conn, s.unixLS)
 	}
+}
+
+// AddListener attaches an extra accept surface — a TCP or TLS listener
+// bound by internal/frontend — served by `accepts` parallel accept
+// goroutines (accept sharding keeps a burst of handshakes from
+// serializing behind one goroutine's session setup).  The listener is
+// closed when the server drains.
+func (s *Server) AddListener(ln net.Listener, name string, accepts int) *ListenerStats {
+	if accepts < 1 {
+		accepts = 1
+	}
+	ls := s.metrics.RegisterListener(name)
+	s.mu.Lock()
+	s.extra = append(s.extra, ln)
+	draining := s.draining.Load()
+	s.mu.Unlock()
+	if draining {
+		ln.Close()
+		return ls
+	}
+	s.cfg.Logf("esd: listening on %s/%s (accepts=%d)", name, ln.Addr(), accepts)
+	for k := 0; k < accepts; k++ {
+		s.lnWG.Add(1)
+		go func() {
+			defer s.lnWG.Done()
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				s.startSession(conn, ls)
+			}
+		}()
+	}
+	return ls
 }
 
 // ListenAndServe is Listen followed by Serve.
@@ -141,7 +247,7 @@ func (s *Server) ListenAndServe() error {
 	return s.Serve()
 }
 
-func (s *Server) startSession(conn net.Conn) {
+func (s *Server) startSession(conn net.Conn, ls *ListenerStats) {
 	interp, err := s.pool.get()
 	if err != nil {
 		fw := NewFrameWriter(conn, &s.metrics.BytesOut)
@@ -150,7 +256,7 @@ func (s *Server) startSession(conn net.Conn) {
 		return
 	}
 	id := s.nextID.Add(1)
-	sess := newSession(id, s, conn, interp)
+	sess := newSession(id, s, conn, interp, ls)
 	s.mu.Lock()
 	if s.draining.Load() {
 		s.mu.Unlock()
@@ -161,6 +267,9 @@ func (s *Server) startSession(conn net.Conn) {
 	s.sessions[id] = sess
 	s.mu.Unlock()
 	s.metrics.SessionsOpened.Add(1)
+	if ls != nil {
+		ls.Sessions.Add(1)
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -189,10 +298,17 @@ func (s *Server) Drain(timeout time.Duration) error {
 		if s.ln != nil {
 			s.ln.Close()
 		}
+		s.mu.Lock()
+		extra := append([]net.Listener(nil), s.extra...)
+		s.mu.Unlock()
+		for _, ln := range extra {
+			ln.Close()
+		}
 		s.cfg.Logf("esd: draining (%d sessions open)", s.openSessions())
 	})
 	done := make(chan struct{})
 	go func() {
+		s.lnWG.Wait()
 		s.wg.Wait()
 		close(done)
 	}()
@@ -205,6 +321,7 @@ func (s *Server) Drain(timeout time.Duration) error {
 	select {
 	case <-done:
 		s.pool.close()
+		s.releaseLock()
 		s.cfg.Logf("esd: drain complete")
 		return nil
 	case <-timeoutCh:
@@ -214,7 +331,18 @@ func (s *Server) Drain(timeout time.Duration) error {
 		case <-time.After(5 * time.Second):
 		}
 		s.pool.close()
+		s.releaseLock()
 		return fmt.Errorf("server: drain timed out after %v; sessions force-closed", timeout)
+	}
+}
+
+// releaseLock lets go of the socket-takeover sentinel; the kernel would
+// drop the flock at process exit anyway, this just tidies the in-process
+// (tests, embedders) lifecycle.
+func (s *Server) releaseLock() {
+	if s.lock != nil {
+		s.lock.Close()
+		s.lock = nil
 	}
 }
 
@@ -238,8 +366,12 @@ func (s *Server) openSessions() int {
 	return len(s.sessions)
 }
 
-// Stats snapshots the server-wide counters as name:value words.
-func (s *Server) Stats() []string { return s.metrics.Words() }
+// Stats snapshots the server-wide counters as name:value words: the
+// global counter set, per-listener transport counters, then per-tenant
+// gauges.
+func (s *Server) Stats() []string {
+	return append(s.metrics.Words(), s.tenants.words()...)
+}
 
 // Metrics exposes the raw counter set (tests and embedders).
 func (s *Server) Metrics() *Metrics { return &s.metrics }

@@ -7,12 +7,26 @@ package server
 // aborts (per-request deadlines) do not need a second driver: they ride
 // the interpreter's cooperative cancellation, armed before RunString and
 // fired from a timer goroutine that never touches the interpreter.
+//
+// Pipelining: the mailbox doubles as the per-session dispatch queue.  A
+// hello frame grants a window W (clamped to Config.MaxWindow); the read
+// loop then admits up to W unanswered evals before it stops reading —
+// TCP backpressure is the flow control.  Evals still execute one at a
+// time on the interpreter, in arrival order, so per-id ordering is free;
+// the win is that frame decode, the wire round trip, and the next
+// request's network time overlap with evaluation.  Admission control
+// also lives on the read loop: a shed eval (overload or tenant quota) is
+// answered immediately with a retryable error frame without ever
+// touching the queue, which is exactly what load shedding is for —
+// refusing work at the front door while the interpreter digs out.
 
 import (
 	"bytes"
+	"errors"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"es/internal/analysis"
@@ -27,9 +41,19 @@ type session struct {
 	interp *core.Interp
 	fr     *FrameReader
 	fw     *FrameWriter
-	mail   chan *Frame   // read loop -> session goroutine
+	mail   chan *Frame   // read loop -> session goroutine (the dispatch queue)
 	closed chan struct{} // closed when the session goroutine exits
 	sm     sessionMetrics
+
+	// evalDone carries one token per answered (or forwarded, or dropped)
+	// eval back to the read loop's window accounting.  Capacity MaxWindow
+	// ≥ any granted window, so sends never block even after the read loop
+	// has given up.
+	evalDone chan struct{}
+
+	// tenant is set by the read loop on the first hello naming one; the
+	// session goroutine reads it for deadline clamping and accounting.
+	tenant atomic.Pointer[tenantState]
 }
 
 // sessionBuffer collects one request's output.  Pipeline elements and
@@ -54,16 +78,21 @@ func (s *sessionBuffer) String() string {
 	return s.b.String()
 }
 
-func newSession(id uint64, srv *Server, conn net.Conn, interp *core.Interp) *session {
+func newSession(id uint64, srv *Server, conn net.Conn, interp *core.Interp, ls *ListenerStats) *session {
+	var inLst, outLst *atomic.Int64
+	if ls != nil {
+		inLst, outLst = &ls.BytesIn, &ls.BytesOut
+	}
 	return &session{
-		id:     id,
-		srv:    srv,
-		conn:   conn,
-		interp: interp,
-		fr:     NewFrameReader(conn, &srv.metrics.BytesIn),
-		fw:     NewFrameWriter(conn, &srv.metrics.BytesOut),
-		mail:   make(chan *Frame, 8),
-		closed: make(chan struct{}),
+		id:       id,
+		srv:      srv,
+		conn:     conn,
+		interp:   interp,
+		fr:       NewFrameReader(conn, &srv.metrics.BytesIn, inLst),
+		fw:       NewFrameWriter(conn, &srv.metrics.BytesOut, outLst),
+		mail:     make(chan *Frame, srv.cfg.MaxWindow),
+		closed:   make(chan struct{}),
+		evalDone: make(chan struct{}, srv.cfg.MaxWindow),
 	}
 }
 
@@ -74,6 +103,17 @@ func (s *session) run() {
 	defer func() {
 		close(s.closed)
 		s.conn.Close()
+		// Evals admitted but never dispatched (a force-close dropped the
+		// session mid-queue) still hold queue-depth and tenant-in-flight
+		// accounting; release them.  The read loop is guaranteed to close
+		// the mailbox: its reads fail once the connection is closed, and
+		// its window waits select on s.closed.
+		for f := range s.mail {
+			if f.Type == "eval" {
+				s.srv.metrics.Queued.Add(-1)
+				s.finishEval()
+			}
+		}
 		s.srv.metrics.SessionsClosed.Add(1)
 		s.srv.dropSession(s.id)
 	}()
@@ -109,14 +149,70 @@ func (s *session) run() {
 	}
 }
 
+// finishEval returns one admitted eval's window token and tenant
+// in-flight slot.  Exactly one call per admitted eval, on whichever path
+// retired it: answered, forwarded by a relay, or dropped at close.
+func (s *session) finishEval() {
+	if t := s.tenant.Load(); t != nil {
+		t.inflight.Add(-1)
+	}
+	s.evalDone <- struct{}{}
+}
+
 // readLoop feeds the mailbox until the stream ends.  It never touches the
-// interpreter.
+// interpreter; hello handshakes and eval admission (window backpressure,
+// overload shedding, tenant quotas) are handled here so a shed request is
+// answered even while the interpreter is busy.
 func (s *session) readLoop() {
-	defer close(s.mail)
+	window := 1
+	pending := 0
+	defer func() {
+		close(s.mail)
+		if t := s.tenant.Load(); t != nil {
+			t.sessions.Add(-1)
+		}
+	}()
 	for {
 		f, err := s.fr.Read()
 		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				// The doc on maxFrameBytes promises an error frame, and
+				// the scanner cannot resync past the oversized line, so
+				// answer and hang up instead of dying silently.
+				s.fw.Write(&Frame{Type: "error",
+					Exception: []string{"error", "esd", err.Error()}})
+				s.fw.Write(&Frame{Type: "bye", Reason: "frame too large"})
+			}
 			return
+		}
+		switch f.Type {
+		case "hello":
+			w, ok := s.hello(f, window)
+			if !ok {
+				return
+			}
+			window = w
+			continue
+		case "eval":
+			if ov := s.srv.admitEval(s.tenant.Load()); ov != nil {
+				s.fw.Write(&Frame{Type: "error", ID: f.ID,
+					Exception:    []string{"signal", ov.Signal, ov.Reason},
+					RetryAfterMS: ov.RetryAfterMS})
+				continue
+			}
+			for pending >= window {
+				select {
+				case <-s.evalDone:
+					pending--
+				case <-s.closed:
+					return
+				}
+			}
+			pending++
+			s.srv.metrics.Queued.Add(1)
+			if t := s.tenant.Load(); t != nil {
+				t.inflight.Add(1)
+			}
 		}
 		select {
 		case s.mail <- f:
@@ -126,15 +222,57 @@ func (s *session) readLoop() {
 	}
 }
 
+// hello negotiates the session's pipeline window and tenant.  It runs on
+// the read loop before any frame it precedes is admitted, so the session
+// goroutine observes the tenant through the mailbox's happens-before.
+// The bool result is false when the session must close (tenant over its
+// session quota).
+func (s *session) hello(f *Frame, window int) (int, bool) {
+	w := f.Window
+	if w < 1 {
+		w = 1
+	}
+	if w > s.srv.cfg.MaxWindow {
+		w = s.srv.cfg.MaxWindow
+	}
+	if f.Tenant != "" {
+		switch cur := s.tenant.Load(); {
+		case cur == nil:
+			t, ok := s.srv.tenants.acquireSession(f.Tenant)
+			if !ok {
+				s.srv.metrics.QuotaRejects.Add(1)
+				s.fw.Write(&Frame{Type: "error", ID: f.ID,
+					Exception: []string{"signal", "quota", "tenant " + f.Tenant + " session quota exhausted"}})
+				s.fw.Write(&Frame{Type: "bye", Reason: "quota"})
+				return window, false
+			}
+			s.tenant.Store(t)
+		case cur.name != f.Tenant:
+			// Tenancy is fixed for the life of a session; a different name
+			// is an error, but not a fatal one — the window still applies.
+			s.fw.Write(&Frame{Type: "error", ID: f.ID,
+				Exception: []string{"error", "esd", "tenant already set: " + cur.name}})
+			return window, true
+		}
+	}
+	reply := &Frame{Type: "hello", ID: f.ID, Window: w, True: true}
+	if t := s.tenant.Load(); t != nil {
+		reply.Tenant = t.name
+	}
+	s.fw.Write(reply)
+	return w, true
+}
+
 // dispatch handles one frame; the returned bool means "close the
 // session".
 func (s *session) dispatch(f *Frame) bool {
 	switch f.Type {
 	case "eval":
 		s.eval(f)
+		s.finishEval()
 		return false
 	case "stats":
-		words := append(s.srv.metrics.Words(), s.sm.words(s.id)...)
+		words := append(s.srv.Stats(), s.sm.words(s.id)...)
 		s.fw.Write(&Frame{Type: "stats", ID: f.ID, Stats: words})
 		return false
 	case "snap":
@@ -187,6 +325,7 @@ func (s *session) check(f *Frame) {
 // surfaces in-script as the catchable exception `signal deadline`.
 func (s *session) eval(f *Frame) {
 	s.srv.sem <- struct{}{}
+	s.srv.metrics.Queued.Add(-1) // dispatched: no longer queue depth
 	defer func() { <-s.srv.sem }()
 	m := &s.srv.metrics
 	m.InFlight.Add(1)
@@ -213,6 +352,13 @@ func (s *session) eval(f *Frame) {
 	deadline := s.srv.cfg.DefaultDeadline
 	if f.DeadlineMS > 0 {
 		deadline = time.Duration(f.DeadlineMS) * time.Millisecond
+	}
+	// The tenant's deadline ceiling clamps both longer requests and
+	// requests asking for no deadline at all.
+	if t := s.tenant.Load(); t != nil && t.quota.DeadlineCeiling > 0 {
+		if deadline <= 0 || deadline > t.quota.DeadlineCeiling {
+			deadline = t.quota.DeadlineCeiling
+		}
 	}
 	var out, errb sessionBuffer
 	ctx := &core.Ctx{IO: core.NewIOTable(strings.NewReader(""), &out, &errb)}

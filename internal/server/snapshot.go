@@ -142,6 +142,12 @@ func (s *session) relay(tconn net.Conn, tfw *FrameWriter) {
 				<-copied
 				return
 			}
+			if f.Type == "eval" {
+				// The target answers this eval; release the local window
+				// token and queue-depth slot its admission took.
+				s.srv.metrics.Queued.Add(-1)
+				s.finishEval()
+			}
 			if err := tfw.Write(f); err != nil {
 				<-copied
 				return

@@ -21,15 +21,18 @@ trap cleanup EXIT INT TERM
 
 go build -race -o "$tmp/esd" ./cmd/esd
 go build -o "$tmp/esc" ./cmd/esc
+go build -o "$tmp/esload" ./cmd/esload
 
 sock="$tmp/esd.sock"
-"$tmp/esd" -socket "$sock" -quiet -drain-timeout 30s &
+"$tmp/esd" -socket "$sock" -tcp 127.0.0.1:0 -addr-file "$tmp/addr" \
+	-quiet -drain-timeout 30s &
 espid=$!
 for i in $(seq 1 100); do
-	[ -S "$sock" ] && break
+	[ -S "$sock" ] && [ -s "$tmp/addr" ] && break
 	sleep 0.1
 done
 [ -S "$sock" ] || { echo "soak: esd did not come up" >&2; exit 1; }
+tcpaddr=$(sed -n 's/^tcp=//p' "$tmp/addr")
 
 fail=0
 
@@ -60,6 +63,16 @@ out=$("$tmp/esc" -socket "$sock" 'echo alive') || fail=1
 [ "$out" = "alive" ] || fail=1
 [ "$fail" -eq 0 ] || { echo "soak: daemon unusable after deadline" >&2; exit 1; }
 
+# TCP wave: pipelined sessions over the TCP listener against the
+# race-enabled daemon — the concurrency soak for the hello/window path.
+# esload exits nonzero on any transport failure or unexpected error frame.
+"$tmp/esload" -addr "$tcpaddr" -window 4 -sessions "$clients" \
+	-evals "$evals" -mix mixed -quiet > /dev/null ||
+	{ echo "soak: TCP pipelined wave failed" >&2; exit 1; }
+out=$("$tmp/esc" -socket "$sock" 'echo alive-tcp') || fail=1
+[ "$out" = "alive-tcp" ] || fail=1
+[ "$fail" -eq 0 ] || { echo "soak: daemon unusable after TCP wave" >&2; exit 1; }
+
 # Wave 2: SIGTERM while evals are in flight.  Every client must still get
 # its result (then the drain goodbye), and esd must exit 0.
 pids=""
@@ -81,4 +94,4 @@ if wait "$espid"; then :; else
 fi
 espid=""
 [ "$fail" -eq 0 ] || { echo "soak: drain under load failed" >&2; exit 1; }
-echo "soak ok ($clients clients x $evals evals, deadline, SIGTERM drain)"
+echo "soak ok ($clients clients x $evals evals, deadline, TCP pipelining, SIGTERM drain)"
